@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Each benchmark file regenerates one paper table/figure: it prints the
+table (run pytest with ``-s`` to see it), asserts the paper's *shape*
+(orderings, bands, crossovers — not absolute numbers), and times the
+harness's core operation through pytest-benchmark.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper: regenerates a table/figure from the paper"
+    )

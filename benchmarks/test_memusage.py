@@ -1,0 +1,50 @@
+"""Regenerates the §8 memory-usage evaluation."""
+
+import pytest
+
+from repro.bench.memusage import average_rss_overhead, measure_server, render, run_memusage
+
+
+@pytest.fixture(scope="module")
+def memusage():
+    return run_memusage()
+
+
+@pytest.mark.paper
+class TestMemUsageShape:
+    def test_print_table(self, memusage):
+        print()
+        print(render(memusage))
+
+    def test_binary_overhead_band(self, memusage):
+        """Paper: 118.7%-235.2% binary-size overhead."""
+        for server, row in memusage.items():
+            assert 0.9 < row["binary_overhead"] < 3.0, (
+                f"{server}: {row['binary_overhead']:.2f}"
+            )
+
+    def test_rss_overhead_is_a_small_multiple(self, memusage):
+        """Paper: 110.0%-483.6% RSS overhead."""
+        for server, row in memusage.items():
+            assert 0.8 < row["rss_overhead"] < 6.0, (
+                f"{server}: {row['rss_overhead']:.2f}"
+            )
+
+    def test_average_in_paper_band(self, memusage):
+        """Paper: 288.5% average ('3.9x memory')."""
+        average = average_rss_overhead(memusage)
+        assert 1.0 < average < 5.0, f"average: {average:.2f}"
+
+    def test_small_binaries_pay_relatively_more(self, memusage):
+        """The fixed libmcr cost weighs more on small programs."""
+        assert (
+            memusage["vsftpd"]["binary_overhead"]
+            > memusage["httpd"]["binary_overhead"]
+        )
+
+
+def test_benchmark_memusage(benchmark):
+    result = benchmark.pedantic(
+        measure_server, args=("vsftpd",), rounds=1, iterations=1
+    )
+    assert result["rss_overhead"] > 0

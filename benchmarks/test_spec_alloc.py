@@ -1,0 +1,48 @@
+"""Regenerates the §8 SPEC CPU2006 allocator-instrumentation experiment."""
+
+import pytest
+
+from repro.bench.spec2006 import WORKLOAD_MIXES, measure_spec, render, run_spec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return run_spec()
+
+
+@pytest.mark.paper
+class TestSpecShape:
+    def test_print_table(self, spec):
+        print()
+        print(render(spec))
+
+    def test_most_benchmarks_under_five_percent(self, spec):
+        """Paper: 5% worst-case across all benchmarks except perlbench."""
+        for name, ratio in spec.items():
+            if name == "perlbench":
+                continue
+            assert ratio < 1.06, f"{name}: {ratio}"
+
+    def test_perlbench_is_the_outlier(self, spec):
+        """Paper: perlbench 36% — a microbenchmark for the wrappers."""
+        assert spec["perlbench"] > 1.20
+        assert spec["perlbench"] < 1.60
+        assert spec["perlbench"] == max(spec.values())
+
+    def test_overhead_tracks_allocation_intensity(self, spec):
+        """More allocations per unit of work => more overhead."""
+        ordered = sorted(
+            WORKLOAD_MIXES,
+            key=lambda n: WORKLOAD_MIXES[n]["allocs"] / WORKLOAD_MIXES[n]["compute_ns"],
+        )
+        ratios = [spec[name] for name in ordered]
+        assert ratios[-1] == max(ratios)
+        assert ratios[0] == min(ratios)
+
+
+def test_benchmark_alloc_microbench(benchmark):
+    """pytest-benchmark target: the perlbench-analogue instrumented run."""
+    duration_ns = benchmark.pedantic(
+        measure_spec, args=("perlbench", True), rounds=1, iterations=1
+    )
+    assert duration_ns > 0

@@ -1,0 +1,73 @@
+"""Regenerates Table 1: programs, updates, and engineering effort."""
+
+import pytest
+
+from repro.bench.table1 import PAPER_PROFILING, effort_row, profile_server, render, run_table1
+from repro.servers.updates import ALL_SERIES
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1()
+
+
+@pytest.mark.paper
+class TestTable1Shape:
+    def test_print_table(self, table1):
+        print()
+        print(render(table1))
+
+    def test_nginx_is_purely_event_driven(self, table1):
+        # The paper's signature nginx property: no volatile QPs at all.
+        assert table1["nginx"]["Vol"] == 0
+        assert table1["nginx"]["Per"] == table1["nginx"]["QP"]
+
+    def test_session_servers_have_volatile_points(self, table1):
+        assert table1["vsftpd"]["Vol"] >= 1
+        assert table1["opensshd"]["Vol"] >= 1
+        # And exactly one persistent point (the master accept loop).
+        assert table1["vsftpd"]["Per"] == 1
+        assert table1["opensshd"]["Per"] == 1
+
+    def test_httpd_mixes_persistent_and_volatile(self, table1):
+        assert table1["httpd"]["Per"] >= 3
+        assert table1["httpd"]["Vol"] >= 1
+
+    def test_opensshd_has_short_lived_classes(self, table1):
+        # daemonize + exec'd helpers: the paper reports SL=3.
+        assert table1["opensshd"]["SL"] >= 2
+
+    def test_nginx_series_is_largest(self, table1):
+        assert table1["nginx"]["Num"] == 25
+        for other in ("httpd", "vsftpd", "opensshd"):
+            assert table1[other]["Num"] == 5
+
+    def test_nginx_patches_are_smallest_per_release(self, table1):
+        # "nginx's tight release cycle generally produces much smaller
+        # patches than those of all the other programs considered."
+        nginx_per = table1["nginx"]["LOC"] / table1["nginx"]["Num"]
+        for other in ("httpd", "vsftpd", "opensshd"):
+            other_per = table1[other]["LOC"] / table1[other]["Num"]
+            assert nginx_per < other_per
+
+    def test_annotation_loc_matches_paper_accounting(self, table1):
+        # The annotation registries carry the paper's per-program LOC.
+        assert table1["httpd"]["Ann"] == 181
+        assert table1["nginx"]["Ann"] == 22
+        assert table1["vsftpd"]["Ann"] == 82
+        assert table1["opensshd"]["Ann"] == 49
+
+    def test_type_changes_detected_structurally(self, table1):
+        for server in ("httpd", "nginx", "vsftpd", "opensshd"):
+            assert table1[server]["Type"] >= 2
+
+    def test_semantic_update_accounts_st_loc(self, table1):
+        assert table1["httpd"]["ST"] > 0
+
+
+def test_benchmark_profiler(benchmark):
+    """pytest-benchmark target: one full quiescence-profiling run."""
+    result = benchmark.pedantic(
+        profile_server, args=("nginx",), rounds=1, iterations=1
+    )
+    assert result["LL"] == 2

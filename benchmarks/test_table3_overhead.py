@@ -1,0 +1,62 @@
+"""Regenerates Table 3: run time normalized against the baseline."""
+
+import pytest
+
+from repro.bench.table3 import PAPER_TABLE3, measure_runtime_ns, render, run_table3
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3()
+
+
+@pytest.mark.paper
+class TestTable3Shape:
+    def test_print_table(self, table3):
+        print()
+        print(render(table3))
+
+    def test_unblockification_is_nearly_free(self, table3):
+        """Paper: marginal overhead (worst case 2.4%, vsftpd)."""
+        for server, row in table3.items():
+            assert row["Unblock"] < 1.04, f"{server}: {row['Unblock']}"
+
+    def test_allocator_instrumentation_is_the_visible_cost(self, table3):
+        """httpd's +SInstr jump dominates its ladder (paper: 1.040)."""
+        httpd = table3["httpd"]
+        sinstr_delta = httpd["+SInstr"] - httpd["Unblock"]
+        qdet_delta = httpd["+QDet"] - httpd["+DInstr"]
+        assert sinstr_delta > qdet_delta
+        assert 1.02 < httpd["+SInstr"] < 1.10
+
+    def test_nginx_uninstrumented_is_flat(self, table3):
+        """Paper: nginx 1.000 across the board."""
+        row = table3["nginx"]
+        assert all(v < 1.03 for v in row.values()), row
+
+    def test_nginx_reg_is_the_outlier(self, table3):
+        """Paper: region instrumentation costs ~19% worst case."""
+        reg = table3["nginx_reg"]["+QDet"]
+        assert reg > 1.10
+        assert reg < 1.35
+        for server in ("httpd", "nginx", "vsftpd", "opensshd"):
+            assert table3[server]["+QDet"] < reg
+
+    def test_full_mcr_overhead_is_single_digit_except_reg(self, table3):
+        """Paper: 4.7% worst case (httpd) for the full solution."""
+        for server in ("httpd", "nginx", "vsftpd", "opensshd"):
+            assert table3[server]["+QDet"] < 1.10, server
+
+    def test_ladder_is_cumulative(self, table3):
+        """Each configuration includes the previous one's cost."""
+        for server, row in table3.items():
+            assert row["+SInstr"] >= row["Unblock"] - 0.02
+            assert row["+DInstr"] >= row["+SInstr"] - 0.02
+
+
+def test_benchmark_workload(benchmark):
+    """pytest-benchmark target: one full nginx AB run (host time)."""
+    duration_ns = benchmark.pedantic(
+        measure_runtime_ns, args=("nginx", "+QDet"), rounds=1, iterations=1
+    )
+    assert duration_ns > 0

@@ -1,0 +1,59 @@
+"""Regenerates the §8 update-time evaluation (components + bounds)."""
+
+import pytest
+
+from repro.bench.updatetime import (
+    measure_quiescence_under_load,
+    measure_update_components,
+    render,
+    run_updatetime,
+)
+
+
+@pytest.fixture(scope="module")
+def updatetime():
+    return run_updatetime()
+
+
+@pytest.mark.paper
+class TestUpdateTimeShape:
+    def test_print_table(self, updatetime):
+        print()
+        print(render(updatetime))
+
+    def test_quiescence_under_100ms(self, updatetime):
+        """Paper: all programs converge in less than 100 ms."""
+        for server, row in updatetime.items():
+            assert row["quiescence_ms"] < 100.0, f"{server}: {row['quiescence_ms']}"
+
+    def test_quiescence_workload_independent(self, updatetime):
+        """Paper: convergence time is workload-independent."""
+        for server, row in updatetime.items():
+            assert abs(row["loaded_ms"] - row["idle_ms"]) < 50.0, (
+                f"{server}: idle={row['idle_ms']} loaded={row['loaded_ms']}"
+            )
+
+    def test_control_migration_under_50ms(self, updatetime):
+        """Paper: record and replay both complete in < 50 ms."""
+        for server, row in updatetime.items():
+            assert row["control_migration_ms"] < 50.0, server
+
+    def test_replay_overhead_band(self, updatetime):
+        """Paper: 1-45% overhead over the original startup time."""
+        for server, row in updatetime.items():
+            assert -0.05 < row["replay_overhead"] < 0.60, (
+                f"{server}: {row['replay_overhead']:.2f}"
+            )
+
+    def test_total_update_subsecond(self, updatetime):
+        """Paper: realistic update times (< 1 s)."""
+        for server, row in updatetime.items():
+            assert row["total_ms"] < 1000.0, server
+
+
+def test_benchmark_full_update(benchmark):
+    """pytest-benchmark target: one complete httpd live update."""
+    result = benchmark.pedantic(
+        measure_update_components, args=("httpd",), rounds=1, iterations=1
+    )
+    assert result["total_ms"] > 0

@@ -1,0 +1,67 @@
+"""Mutable Checkpoint-Restart (MCR), reproduced on a simulated machine.
+
+Public API surface (see README.md for the tour):
+
+* ``repro.kernel``   — the simulated machine (``Kernel``, ``sim_function``).
+* ``repro.runtime``  — programs, build configurations, the loader, and the
+  MCR dynamic runtime (``MCRSession``).
+* ``repro.mcr``      — the live-update machinery (``McrCtl``,
+  ``LiveUpdateController``, annotations, diagnostics).
+* ``repro.servers``  — the simulated evaluation subjects.
+* ``repro.workloads``— client drivers and profiling workloads.
+* ``repro.bench``    — one harness per paper table/figure.
+
+Quick start::
+
+    from repro import boot, live_update
+
+    world = boot("nginx")                       # kernel + v1 + MCR session
+    result = live_update(world, version=2)      # commit or atomic rollback
+"""
+
+from typing import NamedTuple, Optional
+
+__version__ = "1.0.0"
+
+__all__ = ["boot", "live_update", "BootedWorld", "__version__"]
+
+
+class BootedWorld(NamedTuple):
+    """A running MCR-enabled server instance."""
+
+    kernel: object
+    program: object
+    session: object
+    root: object
+    module: object
+
+
+def boot(server: str = "simple", version: int = 1) -> BootedWorld:
+    """Boot one of the bundled servers under the full MCR build."""
+    import importlib
+
+    from repro.kernel import Kernel
+    from repro.runtime.instrument import BuildConfig
+    from repro.runtime.libmcr import MCRSession
+    from repro.runtime.program import load_program
+
+    module = importlib.import_module(f"repro.servers.{server}")
+    kernel = Kernel()
+    module.setup_world(kernel)
+    program = module.make_program(version)
+    session = MCRSession(kernel, program, BuildConfig.full())
+    root = load_program(kernel, program, build=BuildConfig.full(), session=session)
+    kernel.run(until=lambda: session.startup_complete, max_steps=400_000)
+    return BootedWorld(kernel, program, session, root, module)
+
+
+def live_update(world: BootedWorld, version: int = 2, program: Optional[object] = None):
+    """Live-update a booted world to ``version`` (or an explicit program).
+
+    Returns the ``UpdateResult``; on commit, ``world.session`` is stale —
+    use ``result.new_session`` (or keep an ``McrCtl``, which re-binds).
+    """
+    from repro.mcr.ctl import McrCtl
+
+    ctl = McrCtl(world.kernel, world.session)
+    return ctl.live_update(program or world.module.make_program(version))

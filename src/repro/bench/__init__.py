@@ -1,0 +1,24 @@
+"""Benchmark harnesses: one module per paper table/figure.
+
+* ``table1``    — engineering effort (quiescence profiling, update series,
+  annotation/ST LOC).
+* ``table2``    — mutable tracing statistics (precise vs likely pointers
+  by source/target region).
+* ``table3``    — run-time overhead, normalized against the baseline,
+  across the cumulative instrumentation configurations.
+* ``figure3``   — state-transfer time vs number of open connections.
+* ``spec2006``  — allocator-instrumentation overhead on allocation-heavy
+  microworkloads (the SPEC CPU2006 analogue, perlbench included).
+* ``memusage``  — binary-size and resident-set overhead of MCR metadata.
+* ``updatetime``— update-time components: quiescence, record/replay
+  (control migration), state transfer.
+
+Every harness returns plain dict/list data plus a ``render_*`` helper, so
+the pytest benchmarks can both assert the paper's *shape* and print the
+regenerated table.
+"""
+
+from repro.bench.harness import BenchWorld, SERVER_BENCHES, boot_server
+from repro.bench import reporting
+
+__all__ = ["BenchWorld", "SERVER_BENCHES", "boot_server", "reporting"]

@@ -1,0 +1,103 @@
+"""Figure 3: state-transfer time vs number of open connections.
+
+For each server and each connection count N: boot, run a short benchmark
+(populating state), open and hold N connections, trigger a live update to
+the next release, and record the mutable-tracing state-transfer time from
+the update's timing breakdown.
+
+Expected shape (paper): transfer time grows with N for every program;
+vsftpd and opensshd grow fastest (each connection is a whole process to
+pair and transfer); baselines sit in tens-to-hundreds of ms; dirty-object
+tracking keeps the transferred fraction of traced bytes low.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import SERVER_BENCHES, boot_server
+from repro.bench.reporting import render_table
+from repro.mcr.ctl import McrCtl
+from repro.workloads.holders import ConnectionHolder
+
+# The paper's x-axis is 0..100; the simulator's default is scaled down
+# (per-connection-process servers fork one process per held connection).
+DEFAULT_CONNECTIONS = (0, 5, 10, 20, 40)
+
+PAPER_NOTES = {
+    "baseline_ms": (28, 187),       # transfer time range with 0 connections
+    "avg_increase_ms_at_100": 371,  # average growth at 100 connections
+    "dirty_reduction": (0.68, 0.86),
+}
+
+
+class Figure3Point:
+    def __init__(self, server: str, connections: int) -> None:
+        self.server = server
+        self.connections = connections
+        self.transfer_ms = 0.0
+        self.total_update_ms = 0.0
+        self.dirty_reduction = 0.0
+        self.committed = False
+        self.error: Optional[str] = None
+
+
+def measure_point(server: str, connections: int, to_version: int = 2) -> Figure3Point:
+    point = Figure3Point(server, connections)
+    spec = SERVER_BENCHES[server]
+    world = boot_server(server)
+    # Populate some post-startup state first (the paper measures "after
+    # completing the execution of our benchmarks").
+    spec["workload"]().run(world.kernel)
+    holder = None
+    if connections:
+        holder = ConnectionHolder(world.port, connections, spec["holder_kind"])
+        holder.establish(world.kernel, max_steps=20_000_000)
+        if holder.errors:
+            point.error = f"{holder.errors} connections failed to establish"
+            return point
+    ctl = McrCtl(world.kernel, world.session)
+    result = ctl.live_update(spec["make_program"](to_version))
+    point.committed = result.committed
+    if not result.committed:
+        point.error = str(result.error)
+        return point
+    point.transfer_ms = result.transfer_ns / 1e6
+    point.total_update_ms = result.total_ms()
+    if result.transfer_report is not None:
+        point.dirty_reduction = result.transfer_report.aggregate_reduction()
+    if holder is not None:
+        holder.finish(world.kernel)
+    return point
+
+
+def run_figure3(
+    servers: Sequence[str] = ("httpd", "nginx", "vsftpd", "opensshd"),
+    connection_counts: Sequence[int] = DEFAULT_CONNECTIONS,
+) -> Dict[str, List[Figure3Point]]:
+    return {
+        server: [measure_point(server, n) for n in connection_counts]
+        for server in servers
+    }
+
+
+def render(results: Dict[str, List[Figure3Point]]) -> str:
+    counts = [p.connections for p in next(iter(results.values()))]
+    headers = ["server"] + [f"N={n}" for n in counts] + ["reduction@max"]
+    rows = []
+    for server, points in results.items():
+        row = [server]
+        for point in points:
+            row.append(f"{point.transfer_ms:.1f}ms" if point.committed else "FAIL")
+        row.append(f"{points[-1].dirty_reduction:.0%}")
+        rows.append(row)
+    return render_table(
+        "Figure 3: state transfer time vs open connections",
+        headers,
+        rows,
+        note=(
+            "Paper: 28-187 ms baselines, +371 ms average at 100 connections, "
+            "steepest growth for per-connection-process servers; 68-86% of "
+            "traced bytes skipped thanks to dirty tracking."
+        ),
+    )

@@ -1,0 +1,186 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo [server]``          — boot a server, serve traffic, live-update it,
+  and print the operator report (default: simple).
+* ``profile [server]``       — run the quiescence profiler and print the
+  per-thread report (default: all four evaluation servers).
+* ``bench <experiment>``     — regenerate one paper table/figure
+  (table1, table2, table3, figure3, spec, memusage, updatetime,
+  ablations, or ``all``).
+* ``status [server]``        — boot a server and print ``mcr-ctl status``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys as _host_sys
+from typing import List, Optional
+
+SERVERS = ("simple", "httpd", "nginx", "vsftpd", "opensshd", "memcache")
+
+
+def _server_module(name: str):
+    import importlib
+
+    if name not in SERVERS:
+        raise SystemExit(f"unknown server {name!r}; choose from {', '.join(SERVERS)}")
+    return importlib.import_module(f"repro.servers.{name}")
+
+
+def _boot(name: str):
+    from repro.kernel import Kernel
+    from repro.runtime.instrument import BuildConfig
+    from repro.runtime.libmcr import MCRSession
+    from repro.runtime.program import load_program
+
+    module = _server_module(name)
+    kernel = Kernel()
+    module.setup_world(kernel)
+    program = module.make_program(1)
+    session = MCRSession(kernel, program, BuildConfig.full())
+    load_program(kernel, program, build=BuildConfig.full(), session=session)
+    kernel.run(until=lambda: session.startup_complete, max_steps=400_000)
+    return kernel, module, program, session
+
+
+def cmd_demo(args) -> int:
+    from repro.mcr.ctl import McrCtl
+    from repro.mcr.diagnostics import describe_update
+    from repro.workloads.ab import ApacheBench
+    from repro.workloads.ftpbench import FtpBench
+    from repro.workloads.sshsuite import SshSuite
+
+    name = args.server
+    kernel, module, program, session = _boot(name)
+    port = program.metadata.get("port")
+    print(f"{name} v1 running on simulated port {port}")
+    if name in ("simple", "httpd", "nginx", "memcache"):
+        paths = {"simple": "sum", "memcache": "anykey"}
+        workload = ApacheBench(port, requests=40, concurrency=2,
+                               path=paths.get(name, "/index.html"))
+    elif name == "vsftpd":
+        workload = FtpBench(port, users=3, retrievals=1)
+    else:
+        workload = SshSuite(port, sessions=3, commands=2)
+    workload.run(kernel)
+    print(f"workload done: {workload.completed} ops, {workload.errors} errors")
+    ctl = McrCtl(kernel, session)
+    result = ctl.live_update(module.make_program(2))
+    print()
+    print(describe_update(result))
+    return 0 if result.committed else 1
+
+
+def cmd_profile(args) -> int:
+    from repro.kernel import Kernel
+    from repro.mcr.quiescence.profiler import QuiescenceProfiler
+    from repro.workloads import profiles
+
+    targets = [args.server] if args.server else ["httpd", "nginx", "vsftpd", "opensshd"]
+    workloads = {
+        "simple": lambda: profiles.web_profile(8080, big_path="/index.html"),
+        "httpd": lambda: profiles.web_profile(80),
+        "nginx": lambda: profiles.web_profile(8081),
+        "vsftpd": lambda: profiles.ftp_profile(21),
+        "opensshd": lambda: profiles.ssh_profile(22),
+        "memcache": lambda: profiles.web_profile(11211, big_path="bigkey"),
+    }
+    for name in targets:
+        module = _server_module(name)
+        kernel = Kernel()
+        module.setup_world(kernel)
+        if name == "simple":
+            kernel.fs.create("/srv/www/index.html", b"x")
+        report = QuiescenceProfiler(kernel).profile(
+            module.make_program(1), workloads[name]()
+        )
+        print(report.render())
+        print()
+    return 0
+
+
+def cmd_bench(args) -> int:
+    name = args.experiment
+    if name in ("table1", "all"):
+        from repro.bench.table1 import render, run_table1
+
+        print(render(run_table1()), end="\n\n")
+    if name in ("table2", "all"):
+        from repro.bench.table2 import render, run_table2
+
+        print(render(run_table2()), end="\n\n")
+    if name in ("table3", "all"):
+        from repro.bench.table3 import render, run_table3
+
+        print(render(run_table3()), end="\n\n")
+    if name in ("figure3", "all"):
+        from repro.bench.figure3 import render, run_figure3
+
+        print(render(run_figure3(connection_counts=(0, 5, 10, 20))), end="\n\n")
+    if name in ("spec", "all"):
+        from repro.bench.spec2006 import render, run_spec
+
+        print(render(run_spec()), end="\n\n")
+    if name in ("memusage", "all"):
+        from repro.bench.memusage import render, run_memusage
+
+        print(render(run_memusage()), end="\n\n")
+    if name in ("updatetime", "all"):
+        from repro.bench.updatetime import render, run_updatetime
+
+        print(render(run_updatetime()), end="\n\n")
+    if name in ("ablations", "all"):
+        from repro.bench.ablations import render_all
+
+        print(render_all(), end="\n\n")
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.mcr.ctl import McrCtl
+
+    kernel, module, program, session = _boot(args.server)
+    for key, value in McrCtl(kernel, session).status().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mutable Checkpoint-Restart reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="boot, serve, live-update, report")
+    demo.add_argument("server", nargs="?", default="simple", choices=SERVERS)
+    demo.set_defaults(fn=cmd_demo)
+
+    profile = subparsers.add_parser("profile", help="run the quiescence profiler")
+    profile.add_argument("server", nargs="?", default=None, choices=SERVERS)
+    profile.set_defaults(fn=cmd_profile)
+
+    bench = subparsers.add_parser("bench", help="regenerate a paper experiment")
+    bench.add_argument(
+        "experiment",
+        choices=["table1", "table2", "table3", "figure3", "spec",
+                 "memusage", "updatetime", "ablations", "all"],
+    )
+    bench.set_defaults(fn=cmd_bench)
+
+    status = subparsers.add_parser("status", help="mcr-ctl status of a server")
+    status.add_argument("server", nargs="?", default="simple", choices=SERVERS)
+    status.set_defaults(fn=cmd_status)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

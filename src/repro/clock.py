@@ -1,0 +1,68 @@
+"""Deterministic virtual clock used by the simulated machine.
+
+The paper reports run-time overheads as *ratios* against an uninstrumented
+baseline (Table 3).  Measuring wall-clock time of a Python simulator would
+drown those ratios in interpreter noise, so the kernel charges every
+simulated operation a deterministic cost through this clock.  The cost model
+lives with the syscall table (``repro.kernel.syscalls``); the clock itself
+only accumulates.
+
+Costs are expressed in nanoseconds of simulated time.  Instrumented builds
+charge extra cost per intercepted operation (allocator tagging, dirty-page
+faults, unblockification timeouts), which is what produces Table-3-shaped
+ratios deterministically.
+"""
+
+from __future__ import annotations
+
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+class VirtualClock:
+    """Monotonic, manually-advanced nanosecond clock."""
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        return self._now_ns
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ns / NS_PER_MS
+
+    def advance(self, delta_ns: int) -> int:
+        """Advance the clock by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"clock cannot go backwards: {delta_ns}")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def elapsed_since(self, t0_ns: int) -> int:
+        return self._now_ns - t0_ns
+
+
+class StopWatch:
+    """Measures an interval of virtual time.
+
+    Usage::
+
+        watch = StopWatch(clock)
+        ... run simulated work ...
+        duration_ns = watch.elapsed_ns()
+    """
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start_ns = clock.now_ns
+
+    def elapsed_ns(self) -> int:
+        return self._clock.elapsed_since(self._start_ns)
+
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ns() / NS_PER_MS
+
+    def restart(self) -> None:
+        self._start_ns = self._clock.now_ns

@@ -1,0 +1,446 @@
+"""The simulated kernel: world state plus a cooperative scheduler.
+
+Scheduling model: a round-robin run queue of threads.  Each step resumes a
+thread's generator with the result of its previous syscall; the generator
+yields its next ``SyscallRequest``; the syscall table executes it.  Blocking
+syscalls park the thread with a readiness predicate that the scheduler
+re-polls between steps; timed calls carry a virtual-time deadline (this is
+what MCR's unblockification builds on).  When nothing is runnable the clock
+jumps to the earliest deadline, so blocking costs no host time.
+
+Virtual time advances by a per-step cost plus the dispatched syscall's cost
+(see ``syscalls.BASE_COSTS``); soft-dirty write-protect faults taken by the
+running process are charged as they occur.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.clock import VirtualClock
+from repro.errors import SimError
+from repro.kernel.files import SimFileSystem
+from repro.kernel.namespaces import PidNamespace
+from repro.kernel.process import BLOCKED, EXITED, Process, RUNNABLE, Thread
+from repro.kernel.sockets import NetworkStack
+from repro.kernel.syscalls import (
+    Blocked,
+    ExitProcess,
+    ReplaceImage,
+    SyscallRequest,
+    SyscallTable,
+    TIMEOUT,
+)
+
+
+class KernelConfig:
+    """Tunables for the world (cost model knobs)."""
+
+    def __init__(
+        self,
+        step_cost_ns: int = 150,
+        soft_dirty_fault_cost_ns: int = 2_500,
+        max_steps_default: int = 5_000_000,
+    ) -> None:
+        self.step_cost_ns = step_cost_ns
+        self.soft_dirty_fault_cost_ns = soft_dirty_fault_cost_ns
+        self.max_steps_default = max_steps_default
+
+
+class Barrier:
+    """Quiescence-protocol rendezvous: threads park until released."""
+
+    def __init__(self, expected: int = 0) -> None:
+        self.expected = expected
+        self.arrived = 0
+        self.released = False
+
+    def release(self) -> None:
+        self.released = True
+
+
+class Kernel:
+    """World state: processes, network, filesystem, namespace, clock."""
+
+    def __init__(self, config: Optional[KernelConfig] = None, clock: Optional[VirtualClock] = None) -> None:
+        self.config = config or KernelConfig()
+        self.clock = clock or VirtualClock()
+        self.net = NetworkStack()
+        self.fs = SimFileSystem()
+        self.pidns = PidNamespace()  # the root (default) namespace
+        self.syscalls = SyscallTable(self)
+        # Keyed by a kernel-global id: pids are only unique per namespace
+        # (MCR restarts the new version in its own namespace so old-version
+        # pids can be mirrored).
+        self.processes: Dict[int, Process] = {}
+        self._next_global_id = 1
+        self._run_queue: Deque[Thread] = deque()
+        self._blocked: List[Thread] = []
+        self._fault_charged: Dict[int, int] = {}
+        self.steps_executed = 0
+
+    # -- process/thread lifecycle ---------------------------------------------
+
+    def spawn_process(
+        self,
+        main: Callable,
+        args: Tuple = (),
+        name: str = "proc",
+        parent: Optional[Process] = None,
+        creation_stack: Optional[List[str]] = None,
+        namespace: Optional[PidNamespace] = None,
+    ) -> Process:
+        """Create a fresh process running ``main(sys, *args)``."""
+        ns = namespace or self.pidns
+        pid = ns.allocate()
+        process = Process(pid, self, name, parent=parent, creation_stack=creation_stack)
+        process.namespace = ns
+        self._register(process)
+        self._start_thread(process, main, args, "main", creation_stack)
+        return process
+
+    def _register(self, process: Process) -> None:
+        process.global_id = self._next_global_id
+        self._next_global_id += 1
+        self.processes[process.global_id] = process
+
+    def do_fork(self, caller: Thread, child_main: Callable, args: Tuple, name: str) -> Process:
+        parent = caller.process
+        namespace = getattr(parent, "namespace", None) or self.pidns
+        pid = namespace.allocate()
+        child_name = name or f"{parent.name}-child"
+        space = parent.space.clone()
+        creation_stack = list(caller.call_stack) + [getattr(child_main, "__name__", "child")]
+        child = Process(
+            pid,
+            self,
+            child_name,
+            parent=parent,
+            space=space,
+            heap=parent.heap.clone_into(space),
+            tags=parent.tags.clone(),
+            fdtable=parent.fdtable.clone(),
+            creation_stack=creation_stack,
+        )
+        child.program = parent.program
+        child.namespace = namespace
+        for attr in ("build", "symbols", "libs"):
+            if hasattr(parent, attr):
+                setattr(child, attr, getattr(parent, attr))
+        if hasattr(parent, "crt"):
+            from repro.runtime.cruntime import CRuntime
+
+            child.crt = CRuntime(child)
+        self._register(child)
+        if parent.runtime is not None:
+            child.runtime = parent.runtime.on_fork(child)
+        self._start_thread(child, child_main, args, "main", creation_stack)
+        return child
+
+    def fork_for_restore(
+        self,
+        parent: Process,
+        child_main: Callable,
+        args: Tuple,
+        name: str,
+        creation_stack: List[str],
+        forced_pid: Optional[int] = None,
+    ) -> Process:
+        """Fork a child of ``parent`` outside any running thread.
+
+        MCR's post-startup reinit handlers use this to recreate volatile
+        quiescent states: new-version counterparts of old-version processes
+        that were spawned on demand (per-connection workers).  The explicit
+        ``creation_stack`` and ``forced_pid`` make the child pair with its
+        old-version counterpart.
+        """
+        namespace = getattr(parent, "namespace", None) or self.pidns
+        if forced_pid is not None:
+            namespace.force_next_pid(forced_pid)
+        pid = namespace.allocate()
+        space = parent.space.clone()
+        child = Process(
+            pid,
+            self,
+            name,
+            parent=parent,
+            space=space,
+            heap=parent.heap.clone_into(space),
+            tags=parent.tags.clone(),
+            fdtable=parent.fdtable.clone(),
+            creation_stack=creation_stack,
+        )
+        child.program = parent.program
+        child.namespace = namespace
+        for attr in ("build", "symbols", "libs"):
+            if hasattr(parent, attr):
+                setattr(child, attr, getattr(parent, attr))
+        if hasattr(parent, "crt"):
+            from repro.runtime.cruntime import CRuntime
+
+            child.crt = CRuntime(child)
+        self._register(child)
+        if parent.runtime is not None:
+            child.runtime = parent.runtime.on_fork(child)
+        self._start_thread(child, child_main, args, "main", creation_stack)
+        return child
+
+    def do_exec(self, caller: Thread, image_name: str, main: Callable, args: Tuple) -> None:
+        """Replace the process image (exec of an uninstrumented helper)."""
+        from repro.mem.address_space import AddressSpace
+        from repro.mem.ptmalloc import PtMallocHeap
+        from repro.mem.tags import TagStore
+
+        process = caller.process
+        for thread in list(process.threads.values()):
+            if thread is not caller and thread.state != EXITED:
+                self._retire_thread(thread)
+        process.name = image_name
+        process.space = AddressSpace()
+        process.heap = PtMallocHeap(process.space)
+        process.tags = TagStore()
+        process.runtime = None  # exec'd helpers run uninstrumented
+        process.program = None
+        creation_stack = list(caller.call_stack) + [image_name]
+        self._start_thread(process, main, args, "main", creation_stack)
+        # The caller thread itself is retired by the scheduler on return.
+
+    def do_thread_create(self, caller: Thread, main: Callable, args: Tuple, name: str) -> Thread:
+        creation_stack = list(caller.call_stack) + [getattr(main, "__name__", name)]
+        return self._start_thread(caller.process, main, args, name, creation_stack)
+
+    def _start_thread(
+        self,
+        process: Process,
+        main: Callable,
+        args: Tuple,
+        name: str,
+        creation_stack: Optional[List[str]] = None,
+    ) -> Thread:
+        from repro.kernel.sysapi import Sys
+
+        thread = process.add_thread(None, name, creation_stack)
+        sys_api = Sys(thread)
+        thread.body = main(sys_api, *args)
+        thread.started_ns = self.clock.now_ns
+        self._run_queue.append(thread)
+        return thread
+
+    def terminate_process(self, process: Process, status: int = 0) -> None:
+        """Kill a process (exit(), MCR rollback, or old-version teardown)."""
+        if process.exited:
+            return
+        for thread in list(process.threads.values()):
+            self._retire_thread(thread)
+        for fd in list(process.fdtable.fds()):
+            try:
+                obj = process.fdtable.close(fd)
+            except SimError:
+                continue
+            release = getattr(obj, "release", None)
+            if release is not None:
+                release()
+                if obj.refcount <= 0:
+                    if obj.kind == "stream":
+                        obj.close()
+                    elif obj.kind == "listener":
+                        self.net.release_port(obj)
+                    elif obj.kind == "unix":
+                        obj.closed = True
+        process.exited = True
+        process.exit_status = status
+        namespace = getattr(process, "namespace", None) or self.pidns
+        namespace.release(process.pid)
+
+    def terminate_tree(self, process: Process, status: int = 0) -> None:
+        """Kill a process and every live descendant (rollback/teardown)."""
+        for descendant in process.descendants():
+            self.terminate_process(descendant, status)
+        self.terminate_process(process, status)
+
+    def _retire_thread(self, thread: Thread) -> None:
+        if thread.state == EXITED:
+            return
+        thread.state = EXITED
+        if thread.body is not None:
+            thread.body.close()
+        if thread in self._run_queue:
+            self._run_queue.remove(thread)
+        if thread in self._blocked:
+            self._blocked.remove(thread)
+
+    # -- scheduler ----------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        until: Optional[Callable[[], bool]] = None,
+        max_ns: Optional[int] = None,
+    ) -> str:
+        """Run the world.  Returns the stop reason.
+
+        * ``"until"``     — the ``until`` predicate became true
+        * ``"idle"``      — no thread runnable, none can ever become ready
+        * ``"max_steps"`` / ``"max_ns"`` — budget exhausted
+        """
+        budget = max_steps if max_steps is not None else self.config.max_steps_default
+        deadline_ns = None if max_ns is None else self.clock.now_ns + max_ns
+        while True:
+            if until is not None and until():
+                return "until"
+            if budget <= 0:
+                return "max_steps"
+            if deadline_ns is not None and self.clock.now_ns >= deadline_ns:
+                return "max_ns"
+            made_progress = False
+            # Run every currently-runnable thread one step.
+            for _ in range(len(self._run_queue)):
+                if until is not None and until():
+                    return "until"
+                if budget <= 0:
+                    return "max_steps"
+                thread = self._run_queue.popleft()
+                if thread.state != RUNNABLE:
+                    continue
+                self._step(thread)
+                budget -= 1
+                made_progress = True
+            # Poll blocked threads.
+            woken = self._poll_blocked()
+            made_progress = made_progress or woken
+            if not made_progress and not self._run_queue:
+                jumped = self._advance_to_next_deadline()
+                if not jumped:
+                    return "idle"
+
+    def _step(self, thread: Thread) -> None:
+        self.steps_executed += 1
+        self.clock.advance(self.config.step_cost_ns)
+        try:
+            if thread.pending_exception is not None:
+                exc = thread.pending_exception
+                thread.pending_exception = None
+                request = thread.body.throw(exc)
+            else:
+                value = thread.pending_value
+                thread.pending_value = None
+                request = thread.body.send(value)
+        except StopIteration as stop:
+            thread.state = EXITED
+            thread.exit_value = getattr(stop, "value", None)
+            self._maybe_reap_process(thread.process)
+            return
+        if not isinstance(request, SyscallRequest):
+            raise SimError(
+                f"thread {thread} yielded {request!r}, expected a SyscallRequest"
+            )
+        self.clock.advance(self.syscalls.cost_of(request.name))
+        try:
+            result = self.syscalls.dispatch(thread, request)
+        except SimError as error:
+            # Deliver the fault into the program like an errno would be.
+            thread.pending_exception = error
+            self._run_queue.append(thread)
+            return
+        self._charge_faults(thread.process)
+        if isinstance(result, Blocked):
+            thread.state = BLOCKED
+            thread.wait_ready = result.ready
+            thread.blocked_on = result.reason
+            if request.timeout_ns is not None:
+                thread.wait_deadline_ns = self.clock.now_ns + request.timeout_ns
+            else:
+                thread.wait_deadline_ns = None
+            thread.wake_hint_ns = result.wake_ns
+            thread.block_started_ns = self.clock.now_ns
+            self._blocked.append(thread)
+            return
+        if isinstance(result, ExitProcess):
+            self.terminate_process(thread.process, result.status)
+            return
+        if isinstance(result, ReplaceImage):
+            self._retire_thread(thread)
+            return
+        thread.pending_value = result
+        self._run_queue.append(thread)
+
+    def _poll_blocked(self) -> bool:
+        woken = False
+        for thread in list(self._blocked):
+            if thread.state != BLOCKED:
+                self._blocked.remove(thread)
+                continue
+            is_ready, value = thread.wait_ready()
+            if is_ready:
+                self._wake(thread, value)
+                woken = True
+            elif (
+                thread.wait_deadline_ns is not None
+                and self.clock.now_ns >= thread.wait_deadline_ns
+            ):
+                self._wake(thread, TIMEOUT)
+                woken = True
+        return woken
+
+    def _wake(self, thread: Thread, value: Any) -> None:
+        # Account blocking time against the call site (profiler input).
+        site = f"{thread.top_function()}:{thread.blocked_on.split(':')[0]}"
+        elapsed = self.clock.now_ns - getattr(thread, "block_started_ns", self.clock.now_ns)
+        thread.blocking_time_ns[site] = thread.blocking_time_ns.get(site, 0) + elapsed
+        self._blocked.remove(thread)
+        thread.state = RUNNABLE
+        thread.wait_ready = None
+        thread.wait_deadline_ns = None
+        thread.wake_hint_ns = None
+        thread.blocked_on = ""
+        thread.pending_value = value
+        self._run_queue.append(thread)
+
+    def _advance_to_next_deadline(self) -> bool:
+        deadlines = []
+        for t in self._blocked:
+            if t.state != BLOCKED:
+                continue
+            if t.wait_deadline_ns is not None:
+                deadlines.append(t.wait_deadline_ns)
+            hint = getattr(t, "wake_hint_ns", None)
+            if hint is not None:
+                deadlines.append(hint)
+        if not deadlines:
+            return False
+        target = min(deadlines)
+        if target > self.clock.now_ns:
+            self.clock.advance(target - self.clock.now_ns)
+        return True
+
+    def _charge_faults(self, process: Process) -> None:
+        seen = self._fault_charged.get(process.pid, 0)
+        current = process.space.soft_dirty_faults
+        if current > seen:
+            self.clock.advance(
+                (current - seen) * self.config.soft_dirty_fault_cost_ns
+            )
+            self._fault_charged[process.pid] = current
+
+    def _maybe_reap_process(self, process: Process) -> None:
+        if not process.exited and not process.live_threads():
+            self.terminate_process(process, 0)
+
+    # -- queries used by MCR and tests -----------------------------------------------
+
+    def live_processes(self) -> List[Process]:
+        return [p for p in self.processes.values() if not p.exited]
+
+    def process_by_pid(self, pid: int, namespace: Optional[PidNamespace] = None) -> Optional[Process]:
+        ns = namespace or self.pidns
+        for process in self.processes.values():
+            if process.pid == pid and process.namespace is ns and not process.exited:
+                return process
+        return None
+
+    def threads_blocked_at_barrier(self) -> List[Thread]:
+        return [t for t in self._blocked if t.at_barrier]
+
+    def run_until_idle(self, max_steps: Optional[int] = None) -> str:
+        return self.run(max_steps=max_steps)

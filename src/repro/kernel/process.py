@@ -1,0 +1,188 @@
+"""Processes and threads of the simulated machine.
+
+A ``Thread`` owns a generator (its execution), an explicit call stack of
+function names (maintained by the ``@sim_function`` decorator), and loop
+bookkeeping for the quiescence profiler.  The explicit call stack is what
+makes the paper's *call-stack IDs* — "computed by simply hashing all the
+active function names on the call stack of the thread issuing the system
+call" (§5) — a real, version-agnostic quantity in this reproduction.
+
+A ``Process`` owns an address space, a ptmalloc heap, a tag store, and a
+file-descriptor table; it records the call-stack ID of the ``fork`` that
+created it, which mutable reinitialization and parallel state transfer use
+to pair processes across versions.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.ptmalloc import PtMallocHeap
+from repro.mem.tags import TagStore
+from repro.kernel.fdtable import FDTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.kernel import Kernel
+
+RUNNABLE = "runnable"
+BLOCKED = "blocked"
+EXITED = "exited"
+
+
+def call_stack_id(names: List[str]) -> int:
+    """Version-agnostic context hash of the active function names."""
+    digest = hashlib.sha1("/".join(names).encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def sim_function(fn: Callable[..., Generator]) -> Callable[..., Generator]:
+    """Mark a generator function as a simulated program function.
+
+    Pushes/pops the function name on the calling thread's explicit call
+    stack around the ``yield from``, so syscalls issued inside see the
+    correct context.  The first positional argument must be the thread's
+    ``Sys`` API object (convention mirrored from C's implicit stack).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(sys_api, *args, **kwargs):
+        thread = sys_api.thread
+        thread.call_stack.append(fn.__name__)
+        try:
+            result = yield from fn(sys_api, *args, **kwargs)
+        finally:
+            thread.call_stack.pop()
+        return result
+
+    wrapper.__sim_function__ = True
+    return wrapper
+
+
+class Thread:
+    """One schedulable execution context."""
+
+    def __init__(
+        self,
+        tid: int,
+        process: "Process",
+        body: Generator,
+        name: str = "main",
+        creation_stack: Optional[List[str]] = None,
+    ) -> None:
+        self.tid = tid
+        self.process = process
+        self.body = body
+        self.name = name
+        self.state = RUNNABLE
+        self.call_stack: List[str] = []
+        self.creation_stack: List[str] = list(creation_stack or ["spawn"])
+        self.creation_stack_id = call_stack_id(self.creation_stack)
+        # Value (or exception) to deliver on next resume.
+        self.pending_value: Any = None
+        self.pending_exception: Optional[BaseException] = None
+        # Blocking bookkeeping (set by the kernel).
+        self.wait_ready: Optional[Callable[[], Any]] = None
+        self.wait_deadline_ns: Optional[int] = None
+        self.wake_hint_ns: Optional[int] = None
+        self.block_started_ns: int = 0
+        self.blocked_on: str = ""
+        # Quiescence/profiling bookkeeping.
+        self.reached_qp = False  # arrived at its quiescent point at least once
+        self.loop_stack: List[str] = []
+        self.loop_counts: Dict[str, int] = {}
+        self.blocking_time_ns: Dict[str, int] = {}
+        self.at_barrier = False
+        self.exit_value: Any = None
+        # Wall of separation for MCR: which version/world this thread is in.
+        self.started_ns = 0
+
+    def stack_id(self) -> int:
+        return call_stack_id(self.call_stack)
+
+    def top_function(self) -> str:
+        return self.call_stack[-1] if self.call_stack else "<entry>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Thread {self.process.pid}:{self.tid} {self.name} "
+            f"{self.state} at {self.top_function()}>"
+        )
+
+
+class Process:
+    """A simulated process: memory image + threads + kernel objects."""
+
+    def __init__(
+        self,
+        pid: int,
+        kernel: "Kernel",
+        name: str,
+        parent: Optional["Process"] = None,
+        space: Optional[AddressSpace] = None,
+        heap: Optional[PtMallocHeap] = None,
+        tags: Optional[TagStore] = None,
+        fdtable: Optional[FDTable] = None,
+        creation_stack: Optional[List[str]] = None,
+    ) -> None:
+        self.pid = pid
+        self.kernel = kernel
+        self.name = name
+        self.parent = parent
+        self.children: List["Process"] = []
+        self.space = space if space is not None else AddressSpace()
+        self.heap = heap if heap is not None else PtMallocHeap(self.space)
+        self.tags = tags if tags is not None else TagStore()
+        self.fdtable = fdtable if fdtable is not None else FDTable()
+        self.threads: Dict[int, Thread] = {}
+        self._next_tid = 1
+        self.exited = False
+        self.exit_status = 0
+        self.namespace: Any = None  # PidNamespace; set by the kernel
+        self.global_id = 0
+        self.creation_stack: List[str] = list(creation_stack or ["spawn"])
+        self.creation_stack_id = call_stack_id(self.creation_stack)
+        # Per-process MCR runtime (libmcr.so analogue); None when the
+        # program runs uninstrumented.
+        self.runtime: Any = None
+        # Program handle (set by the loader) for symbol lookup.
+        self.program: Any = None
+        if parent is not None:
+            parent.children.append(self)
+
+    def add_thread(
+        self,
+        body: Generator,
+        name: str = "main",
+        creation_stack: Optional[List[str]] = None,
+    ) -> Thread:
+        thread = Thread(self._next_tid, self, body, name, creation_stack)
+        self._next_tid += 1
+        self.threads[thread.tid] = thread
+        return thread
+
+    def live_threads(self) -> List[Thread]:
+        return [t for t in self.threads.values() if t.state != EXITED]
+
+    def all_threads_blocked(self) -> bool:
+        live = self.live_threads()
+        return bool(live) and all(t.state == BLOCKED for t in live)
+
+    def descendants(self) -> List["Process"]:
+        """All live descendant processes, depth-first."""
+        result: List["Process"] = []
+        for child in self.children:
+            if not child.exited:
+                result.append(child)
+            result.extend(child.descendants())
+        return result
+
+    def tree(self) -> List["Process"]:
+        """This process plus all live descendants."""
+        me = [] if self.exited else [self]
+        return me + self.descendants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.pid} {self.name}{' exited' if self.exited else ''}>"

@@ -1,0 +1,44 @@
+"""Mutable Checkpoint-Restart: the paper's contribution.
+
+The three pillars, each a subpackage/module:
+
+* ``quiescence`` — profiling (finding per-thread quiescent points) and
+  detection (unblockification + barrier protocol) — paper §4.
+* ``reinit``     — mutable reinitialization: startup-log record/replay,
+  immutable state objects, global inheritance/separability, global
+  reallocation — paper §5.
+* ``tracing``    — mutable tracing: dirty-object detection, hybrid
+  precise/conservative GC-style traversal, invariants, type
+  transformation, and the state-transfer engine — paper §6.
+
+``controller`` orchestrates a live update end to end (checkpoint →
+restart → remap, with atomic rollback), and ``ctl`` is the ``mcr-ctl``
+front end users signal updates with.
+
+Heavy submodules are imported lazily to keep the package cycle-free
+(``runtime.libmcr`` needs ``mcr.config`` at import time).
+"""
+
+from repro.mcr.annotations import Annotations
+from repro.mcr.config import MCRConfig, TransferCostModel
+
+__all__ = [
+    "Annotations",
+    "MCRConfig",
+    "TransferCostModel",
+    "LiveUpdateController",
+    "UpdateResult",
+    "McrCtl",
+]
+
+
+def __getattr__(name):
+    if name in ("LiveUpdateController", "UpdateResult"):
+        from repro.mcr import controller
+
+        return getattr(controller, name)
+    if name == "McrCtl":
+        from repro.mcr.ctl import McrCtl
+
+        return McrCtl
+    raise AttributeError(f"module 'repro.mcr' has no attribute {name!r}")

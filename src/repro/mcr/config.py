@@ -1,0 +1,76 @@
+"""MCR tunables and the state-transfer cost model.
+
+Quiescence/unblockification knobs control the detection protocol of §4;
+the transfer cost constants convert mutable-tracing work items into
+virtual milliseconds for the update-time evaluation (Figure 3).  The
+constants are calibrated so an idle single-process server lands in the
+paper's 28–187 ms baseline band; only the *shape* across servers and
+connection counts is asserted by the benchmarks.
+"""
+
+from __future__ import annotations
+
+
+class MCRConfig:
+    """Session-wide policy knobs."""
+
+    def __init__(
+        self,
+        unblockify_slice_ns: int = 20_000_000,   # 20 ms timeout slices
+        unblockify_poll_cost_ns: int = 1_200,    # cost of each re-arm
+        unblockify_entry_cost_ns: int = 260,     # wrapper entry per call
+        quiescence_deadline_ns: int = 1_000_000_000,  # 1 s barrier deadline
+        scan_opaque_int64: bool = True,          # pointer-sized ints are opaque
+        scan_char_arrays: bool = True,           # char arrays are opaque
+        transfer_shared_libs: bool = False,      # paper default: don't
+        conservative_interior_pointers: bool = True,
+        interior_only_nonupdatable: bool = False,
+    ) -> None:
+        self.unblockify_slice_ns = unblockify_slice_ns
+        self.unblockify_poll_cost_ns = unblockify_poll_cost_ns
+        self.unblockify_entry_cost_ns = unblockify_entry_cost_ns
+        self.quiescence_deadline_ns = quiescence_deadline_ns
+        self.scan_opaque_int64 = scan_opaque_int64
+        self.scan_char_arrays = scan_char_arrays
+        self.transfer_shared_libs = transfer_shared_libs
+        self.conservative_interior_pointers = conservative_interior_pointers
+        # Paper §6: "we could restrict [nonupdatability] to only interior
+        # pointers ... but we have not implemented this option yet."  We
+        # did: with this flag, a likely pointer to an object *base* pins
+        # the target (immutable) but leaves it type-transformable, since a
+        # base pointer survives any same-address layout change.
+        self.interior_only_nonupdatable = interior_only_nonupdatable
+
+
+class TransferCostModel:
+    """Virtual-time costs of state-transfer work items (ns).
+
+    Mutable tracing runs in the controller (host Python), so its duration
+    must be charged to the virtual clock explicitly.  The per-process
+    setup cost is serial at the central coordinator; per-object work
+    parallelizes across the process hierarchy (paper §6: "fully
+    parallelizing the state transfer operations in a multiprocess
+    context"), so total time = serial setup + max over processes.
+    """
+
+    def __init__(
+        self,
+        process_channel_setup_ns: int = 2_600_000,  # connect + shm channel
+        per_object_visit_ns: int = 2_700,
+        per_pointer_fixup_ns: int = 900,
+        per_byte_copy_ns: int = 3,
+        per_page_scan_ns: int = 1_500,              # soft-dirty retrieval
+        per_transform_ns: int = 6_000,              # type transformation
+        per_likely_scan_word_ns: int = 14,
+        per_fd_restore_ns: int = 150_000,           # in-kernel fd restore
+        base_coordination_ns: int = 16_000_000,     # coordinator bring-up
+    ) -> None:
+        self.process_channel_setup_ns = process_channel_setup_ns
+        self.per_object_visit_ns = per_object_visit_ns
+        self.per_pointer_fixup_ns = per_pointer_fixup_ns
+        self.per_byte_copy_ns = per_byte_copy_ns
+        self.per_page_scan_ns = per_page_scan_ns
+        self.per_transform_ns = per_transform_ns
+        self.per_likely_scan_word_ns = per_likely_scan_word_ns
+        self.per_fd_restore_ns = per_fd_restore_ns
+        self.base_coordination_ns = base_coordination_ns

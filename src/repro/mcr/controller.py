@@ -1,0 +1,363 @@
+"""The live-update orchestrator: checkpoint → restart → remap (paper §3).
+
+``LiveUpdateController.run_update`` executes one update attempt end to end:
+
+1.  **Checkpoint** — quiesce the old version via the barrier protocol.
+2.  **Offline analysis** — conservative tracing of the quiesced old tree
+    produces the immutable set: pinned static symbols, library bases, and
+    heap superobject spans (the relink/prelink step, uncharged to update
+    time as in the paper).
+3.  **Restart** — the new version starts in its own PID namespace (old
+    pids can be mirrored) behind an inheritance bootstrap that receives
+    every old descriptor over a Unix socket into the reserved-range
+    stash.  Quiescence is pre-requested so no thread can consume a new
+    event; mutable reinitialization replays/filters startup syscalls
+    until all long-lived threads park at the barrier (control migration).
+4.  **Volatile state** — ``post_startup`` reinit handlers recreate
+    on-demand processes/threads; post-startup descriptors (open
+    connections) are restored into the paired processes.
+5.  **Remap** — mutable tracing transfers the dirty/immutable state.
+6.  **Commit** — the old tree is terminated and the new version resumes;
+    or, on *any* failure, **rollback**: the new tree is destroyed and the
+    old version resumes from the checkpoint, invisibly to clients.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ConflictError, MCRError, SimError
+from repro.kernel.kernel import Kernel
+from repro.kernel.namespaces import PidNamespace
+from repro.kernel.process import Process, sim_function
+from repro.kernel.syscalls import SyscallRequest
+from repro.mcr.config import MCRConfig, TransferCostModel
+from repro.mcr.quiescence.detection import tree_live_threads
+from repro.mcr.reinit.immutable import FdStash, ImmutableInventory
+from repro.mcr.reinit.realloc import GlobalRealloc
+from repro.mcr.reinit.replay import ReplayEngine
+from repro.mcr.tracing.graph import GraphBuilder
+from repro.mcr.tracing.invariants import (
+    apply_invariants,
+    immutable_heap_spans,
+    immutable_static_symbols,
+)
+from repro.mcr.tracing.transfer import StateTransfer, TransferReport
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession, PHASE_NORMAL
+from repro.runtime.program import Program, load_program
+
+
+class RestoreContext:
+    """Handed to ``post_startup`` reinit handlers (volatile-state rebuild)."""
+
+    def __init__(self, controller: "LiveUpdateController", new_root: Process) -> None:
+        self.controller = controller
+        self.kernel = controller.kernel
+        self.old_root = controller.old_root
+        self.new_root = new_root
+        self.old_session = controller.old_session
+        self.new_session = controller.new_session
+        self.engine: ReplayEngine = controller.new_session.replay_engine
+
+    def missing_counterparts(self) -> List[Process]:
+        """Old processes with no new-version counterpart yet."""
+        new_stacks = {}
+        for process in self.new_root.tree():
+            new_stacks.setdefault(process.creation_stack_id, 0)
+            new_stacks[process.creation_stack_id] += 1
+        missing = []
+        for process in self.old_root.tree():
+            count = new_stacks.get(process.creation_stack_id, 0)
+            if count:
+                new_stacks[process.creation_stack_id] = count - 1
+            else:
+                missing.append(process)
+        return missing
+
+    def respawn(self, old_process: Process, child_main: Callable, args: Tuple = ()) -> Process:
+        parent = None
+        if old_process.parent is not None:
+            parent = self.paired_new_process(old_process.parent)
+        if parent is None:
+            parent = self.new_root
+        return self.engine.respawn_counterpart(parent, old_process, child_main, args)
+
+    def respawn_thread(self, new_process: Process, main: Callable, args: Tuple, old_thread) -> None:
+        """Recreate an on-demand *thread* in its paired new process."""
+        self.kernel._start_thread(
+            new_process,
+            main,
+            args,
+            old_thread.name,
+            creation_stack=list(old_thread.creation_stack),
+        )
+
+    def paired_new_process(self, old_process: Process) -> Optional[Process]:
+        for candidate in self.new_root.tree():
+            if (
+                candidate.creation_stack_id == old_process.creation_stack_id
+                and candidate.pid == old_process.pid
+            ):
+                return candidate
+        for candidate in self.new_root.tree():
+            if candidate.creation_stack_id == old_process.creation_stack_id:
+                return candidate
+        return None
+
+
+class UpdateResult:
+    """Outcome and timing breakdown of one update attempt."""
+
+    def __init__(self) -> None:
+        self.committed = False
+        self.rolled_back = False
+        self.error: Optional[BaseException] = None
+        self.quiescence_ns = 0
+        self.control_migration_ns = 0
+        self.restore_ns = 0
+        self.transfer_ns = 0
+        self.total_ns = 0
+        self.transfer_report: Optional[TransferReport] = None
+        self.new_root: Optional[Process] = None
+        self.new_session: Optional[MCRSession] = None
+
+    def total_ms(self) -> float:
+        return self.total_ns / 1_000_000
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "committed" if self.committed else f"rolled back ({self.error})"
+        return f"<UpdateResult {status} total={self.total_ms():.1f}ms>"
+
+
+class LiveUpdateController:
+    """Drives one live update of ``old_session`` to ``new_program``."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        old_session: MCRSession,
+        new_program: Program,
+        build: Optional[BuildConfig] = None,
+        config: Optional[MCRConfig] = None,
+        cost: Optional[TransferCostModel] = None,
+        use_dirty_filter: bool = True,
+        match_strategy: str = "callstack",
+    ) -> None:
+        self.kernel = kernel
+        self.old_session = old_session
+        self.old_root: Process = old_session.root_process
+        self.new_program = new_program
+        self.build = build or BuildConfig.full()
+        self.config = config or old_session.config
+        self.cost = cost or TransferCostModel()
+        self.use_dirty_filter = use_dirty_filter  # ablation knob
+        self.match_strategy = match_strategy      # "callstack" | "sequential"
+        self.new_session: Optional[MCRSession] = None
+
+    # -- public API -------------------------------------------------------------
+
+    def run_update(self) -> UpdateResult:
+        result = UpdateResult()
+        clock = self.kernel.clock
+        start_ns = clock.now_ns
+        new_root: Optional[Process] = None
+        try:
+            # 1. Checkpoint: quiesce the old version.
+            self.old_session.quiescence.request()
+            result.quiescence_ns = self.old_session.quiescence.wait(self.old_root)
+            # 2. Offline analysis -> immutable set + realloc plan.
+            plan = self._offline_analysis()
+            # 3. Restart the new version under replay.
+            t_restart = clock.now_ns
+            new_root = self._restart(plan)
+            result.new_root = new_root
+            self._run_control_migration(new_root)
+            result.control_migration_ns = clock.now_ns - t_restart
+            # 4. Volatile state + post-startup descriptor restore.  The
+            # handlers only *create* counterpart processes/threads; their
+            # descriptors are restored before any of them runs, then the
+            # whole new tree is driven back to the barrier.
+            t_restore = clock.now_ns
+            self._run_post_startup_handlers(new_root)
+            self._restore_runtime_fds(new_root)
+            self._converge_volatile(new_root)
+            result.restore_ns = clock.now_ns - t_restore
+            # 5. Remap: mutable tracing state transfer.
+            transfer = StateTransfer(
+                self.old_root,
+                new_root,
+                self.new_program,
+                self.config,
+                self.cost,
+                use_dirty_filter=self.use_dirty_filter,
+            )
+            report = transfer.run()
+            result.transfer_report = report
+            result.transfer_ns = report.total_ns
+            clock.advance(report.total_ns)  # clients wait out the transfer
+            # 6. Commit.
+            self._commit(new_root)
+            result.committed = True
+            result.new_session = self.new_session
+        except (MCRError, SimError, ConflictError) as error:
+            self._rollback(new_root)
+            result.rolled_back = True
+            result.error = error
+        result.total_ns = clock.now_ns - start_ns
+        return result
+
+    # -- stages ------------------------------------------------------------------
+
+    def _offline_analysis(self) -> GlobalRealloc:
+        plan = GlobalRealloc()
+        annotations = getattr(self.old_session.program, "annotations", None)
+        for process in self.old_root.tree():
+            trace = apply_invariants(
+                GraphBuilder(process, self.config, annotations=annotations).build()
+            )
+            for name in immutable_static_symbols(trace):
+                symbol = process.symbols.get(name)
+                if symbol is not None and symbol.section != "text":
+                    # Function addresses are never pinned: each version
+                    # lays out its own code; code pointers remap by symbol.
+                    plan.pin_symbol(name, symbol.address)
+            plan.add_heap_spans(process.pid, immutable_heap_spans(trace))
+        for lib_name, lib in getattr(self.old_root, "libs", {}).items():
+            plan.pin_library(lib_name, lib.base)
+        # Feed the relink outputs into the new program's loader inputs.
+        self.new_program.pinned_symbols.update(plan.pinned_symbols)
+        self.new_program.lib_bases.update(plan.lib_bases)
+        return plan
+
+    def _restart(self, plan: GlobalRealloc) -> Process:
+        session = MCRSession(
+            self.kernel, self.new_program, self.build, self.config, role="restart"
+        )
+        self.new_session = session
+        inventory = ImmutableInventory.collect(
+            self.old_root,
+            {
+                pid: self.old_session.startup_log.startup_fds(pid)
+                for pid in self.old_session.startup_log.pids()
+            },
+        )
+        stash = FdStash()
+        session.stash = stash
+        self.old_session.startup_log.reset_consumption()
+        session.replay_engine = ReplayEngine(
+            session,
+            self.old_session.startup_log,
+            inventory,
+            stash,
+            match_strategy=self.match_strategy,
+        )
+        self._inventory = inventory
+        # Pre-request quiescence so no thread consumes a fresh event.
+        session.quiescence.request()
+        # Global inheritance: ship every old descriptor over a Unix socket.
+        receiver, sender = self.kernel.net.socketpair()
+        for entry in inventory.fd_entries:
+            header = f"{entry.src_pid}:{entry.src_fd}".encode()
+            sender.sendmsg(header, [entry.obj])
+        sender.closed = True
+
+        program_main = self.new_program.main
+        expected = len(inventory.fd_entries)
+
+        # Deliberately NOT a @sim_function: the bootstrap must be invisible
+        # to call-stack IDs, or every replayed syscall would carry an extra
+        # frame and never match the old version's records.
+        def mcr_bootstrap(sys):
+            boot_fd = sys.process.fdtable.install(receiver)
+            for _ in range(expected):
+                data, fds = yield from sys.raw(
+                    "recvmsg", {"fd": boot_fd, "install_reserved": True}
+                )
+                src_pid, src_fd = (int(x) for x in data.decode().split(":"))
+                stash.add(src_pid, src_fd, fds[0])
+            yield from sys.raw("close", {"fd": boot_fd})
+            result = yield from program_main(sys)
+            return result
+
+        namespace = PidNamespace(first_pid=1000)
+        namespace.force_next_pid(self.old_root.pid)
+        new_root = load_program(
+            self.kernel,
+            self.new_program,
+            build=self.build,
+            session=session,
+            namespace=namespace,
+            main_override=mcr_bootstrap,
+            name=f"{self.new_program.name}-v{self.new_program.version}",
+        )
+        # Global reallocation: reserve the union of all superobjects in the
+        # root heap; fork propagates the reservations tree-wide.
+        plan.apply_union_to_heap(new_root.heap)
+        return new_root
+
+    def _run_control_migration(self, new_root: Process) -> None:
+        session = self.new_session
+        self.kernel.run(
+            until=lambda: session.quiescence.is_quiescent(new_root),
+            max_ns=self.config.quiescence_deadline_ns,
+        )
+        if not session.quiescence.is_quiescent(new_root):
+            laggards = [
+                f"{t.process.name}:{t.name}@{t.top_function()}"
+                for t in tree_live_threads(new_root)
+                if not t.at_barrier
+            ]
+            raise MCRError(
+                f"control migration did not converge; laggards: {', '.join(laggards)}"
+            )
+        session.replay_engine.finish(new_root)
+
+    def _run_post_startup_handlers(self, new_root: Process) -> None:
+        annotations = getattr(self.new_program, "annotations", None)
+        if annotations is None:
+            return
+        for handler in annotations.handlers_for_stage("post_startup"):
+            handler.handler(RestoreContext(self, new_root))
+
+    def _converge_volatile(self, new_root: Process) -> None:
+        """Drive freshly recreated threads/processes to the barrier."""
+        session = self.new_session
+        if session.quiescence.is_quiescent(new_root):
+            return
+        self.kernel.run(
+            until=lambda: session.quiescence.is_quiescent(new_root),
+            max_ns=self.config.quiescence_deadline_ns,
+        )
+        if not session.quiescence.is_quiescent(new_root):
+            raise MCRError("volatile quiescent states did not converge")
+
+    def _restore_runtime_fds(self, new_root: Process) -> None:
+        """Install post-startup descriptors (open connections) in pairs."""
+        transfer = StateTransfer(self.old_root, new_root, self.new_program)
+        restored = 0
+        for old_proc, new_proc in transfer.pair_processes():
+            for fd, obj in old_proc.fdtable.items():
+                if fd in new_proc.fdtable:
+                    continue
+                acquire = getattr(obj, "acquire", None)
+                if acquire is not None:
+                    acquire()
+                new_proc.fdtable.install(obj, fd=fd)
+                if obj.kind == "listener":
+                    self.kernel.net.adopt_listener(obj)
+                restored += 1
+        self.kernel.clock.advance(restored * self.cost.per_fd_restore_ns)
+
+    def _commit(self, new_root: Process) -> None:
+        self.kernel.terminate_tree(self.old_root)
+        self.old_session.quiescence.release()
+        self.new_session.phase = PHASE_NORMAL
+        self.new_session.quiescence.release()
+
+    def _rollback(self, new_root: Optional[Process]) -> None:
+        """Atomic reversal: destroy the new tree, resume the old version."""
+        if new_root is not None:
+            self.kernel.terminate_tree(new_root)
+        self.old_session.startup_log.reset_consumption()
+        self.old_session.quiescence.release()

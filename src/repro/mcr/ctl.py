@@ -1,0 +1,64 @@
+"""``mcr-ctl``: the user-facing update trigger.
+
+The paper's ``mcr-ctl`` tool signals the MCR backend of a running program
+over a Unix domain socket.  Here the control channel is a direct handle on
+the session, and the tool exposes the same operations: query status,
+request a live update to a new version, and report the outcome.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kernel.kernel import Kernel
+from repro.mcr.config import MCRConfig, TransferCostModel
+from repro.mcr.controller import LiveUpdateController, UpdateResult
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession
+from repro.runtime.program import Program
+
+
+class McrCtl:
+    """Control-plane front end for one MCR-enabled program instance."""
+
+    def __init__(self, kernel: Kernel, session: MCRSession) -> None:
+        self.kernel = kernel
+        self.session = session
+        self.history: list = []
+
+    def status(self) -> Dict[str, object]:
+        """What ``mcr-ctl status`` would print."""
+        session = self.session
+        root = session.root_process
+        tree = root.tree() if root is not None else []
+        return {
+            "program": session.program.name,
+            "version": session.program.version,
+            "phase": session.phase,
+            "startup_complete": session.startup_complete,
+            "processes": len(tree),
+            "threads": sum(len(p.live_threads()) for p in tree),
+            "startup_log_records": len(session.startup_log),
+            "metadata_bytes": session.metadata_bytes(),
+        }
+
+    def live_update(
+        self,
+        new_program: Program,
+        build: Optional[BuildConfig] = None,
+        config: Optional[MCRConfig] = None,
+        cost: Optional[TransferCostModel] = None,
+    ) -> UpdateResult:
+        """Signal a live update; returns when committed or rolled back.
+
+        On success the ctl handle re-binds to the new version's session so
+        successive updates can be chained (v1 -> v2 -> v3 ...).
+        """
+        controller = LiveUpdateController(
+            self.kernel, self.session, new_program, build=build, config=config, cost=cost
+        )
+        result = controller.run_update()
+        self.history.append(result)
+        if result.committed and result.new_session is not None:
+            self.session = result.new_session
+        return result

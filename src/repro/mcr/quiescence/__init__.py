@@ -1,0 +1,20 @@
+"""Quiescence: profiling (§4) and run-time detection (§4).
+
+* ``report``    — the profiler's output: thread classes, their long-lived
+  loops, and per-thread quiescent points (persistent vs volatile).
+* ``profiler``  — statistical profiling of blocking calls + loop profiling
+  under a user-supplied test workload.
+* ``detection`` — the run-time barrier-synchronization protocol built on
+  unblockified blocking calls.
+"""
+
+from repro.mcr.quiescence.report import QuiescenceReport, ThreadClass
+from repro.mcr.quiescence.profiler import QuiescenceProfiler
+from repro.mcr.quiescence.detection import QuiescenceProtocol
+
+__all__ = [
+    "QuiescenceReport",
+    "ThreadClass",
+    "QuiescenceProfiler",
+    "QuiescenceProtocol",
+]

@@ -1,0 +1,91 @@
+"""Run-time quiescence detection: the barrier protocol (paper §4).
+
+The MCR build wraps every profiled quiescent-point call site so the
+blocking call never truly blocks (*unblockification*): the wrapper issues
+the call in timeout slices and runs the quiescence hook between slices.
+When an update is requested the hook routes the thread into a barrier,
+"immediately block[ing] all the running program threads".
+
+The protocol object lives in the MCR session; the hook itself is invoked
+from ``libmcr`` interception (the wrapper's hook call).  ``wait`` runs the
+world until every live thread of the program tree is parked at the
+barrier, giving the quiescence time reported in §8 (< 100 ms,
+workload-independent).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import QuiescenceTimeout
+from repro.kernel.kernel import Barrier, Kernel
+from repro.kernel.process import BLOCKED, Process, Thread
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.libmcr import MCRSession
+
+
+def tree_live_threads(root: Process) -> List[Thread]:
+    threads: List[Thread] = []
+    for process in root.tree():
+        threads.extend(process.live_threads())
+    return threads
+
+
+class QuiescenceProtocol:
+    """Barrier-synchronization quiescence for one program instance."""
+
+    def __init__(self, session: "MCRSession") -> None:
+        self.session = session
+        self.barrier: Optional[Barrier] = None
+        self.requested = False
+        self.requested_at_ns = 0
+        self.converged_at_ns: Optional[int] = None
+
+    # -- controller side ----------------------------------------------------------
+
+    def request(self) -> None:
+        """Start the protocol; threads divert to the barrier at their QPs."""
+        self.barrier = Barrier()
+        self.requested = True
+        self.requested_at_ns = self.session.kernel.clock.now_ns
+        self.converged_at_ns = None
+
+    def is_quiescent(self, root: Process) -> bool:
+        threads = tree_live_threads(root)
+        return bool(threads) and all(t.at_barrier for t in threads)
+
+    def wait(self, root: Process, deadline_ns: Optional[int] = None) -> int:
+        """Run the world until quiescent; returns quiescence time (ns)."""
+        kernel: Kernel = self.session.kernel
+        if deadline_ns is None:
+            deadline_ns = self.session.config.quiescence_deadline_ns
+        start_ns = kernel.clock.now_ns
+        kernel.run(
+            until=lambda: self.is_quiescent(root),
+            max_ns=deadline_ns,
+        )
+        if not self.is_quiescent(root):
+            laggards = [
+                f"{t.process.name}:{t.name}@{t.top_function()}({t.blocked_on or t.state})"
+                for t in tree_live_threads(root)
+                if not t.at_barrier
+            ]
+            raise QuiescenceTimeout(
+                f"quiescence not reached within {deadline_ns} ns; "
+                f"laggards: {', '.join(laggards)}"
+            )
+        self.converged_at_ns = kernel.clock.now_ns
+        return self.converged_at_ns - start_ns
+
+    def release(self) -> None:
+        """End the protocol (rollback or update completion): resume all."""
+        self.requested = False
+        if self.barrier is not None:
+            self.barrier.release()
+            self.barrier = None
+
+    # -- program side (called from unblockified wrappers via libmcr) ---------------
+
+    def hook_should_block(self) -> bool:
+        return self.requested and self.barrier is not None

@@ -1,0 +1,30 @@
+"""Mutable reinitialization (paper §5).
+
+Record the old version's startup syscalls; restart the new version from
+scratch; replay — conservatively, by version-agnostic call-stack ID — only
+the operations that refer to *immutable state objects* (inherited fds,
+forced pids, pinned memory), and run everything else live.  The outcome is
+control migration: the new version's own startup code recreates its threads
+and a large share of its data structures, converging on the old version's
+quiescent state.
+"""
+
+from repro.mcr.reinit.callstack import deep_match, sanitize_args, sanitize_result
+from repro.mcr.reinit.startup_log import StartupLog, SyscallRecord
+from repro.mcr.reinit.immutable import FdStash, ImmutableInventory
+from repro.mcr.reinit.realloc import GlobalRealloc, Superobject
+from repro.mcr.reinit.replay import ReplayEngine, ReplayContext
+
+__all__ = [
+    "deep_match",
+    "sanitize_args",
+    "sanitize_result",
+    "StartupLog",
+    "SyscallRecord",
+    "FdStash",
+    "ImmutableInventory",
+    "GlobalRealloc",
+    "Superobject",
+    "ReplayEngine",
+    "ReplayContext",
+]

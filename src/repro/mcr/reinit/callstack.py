@@ -1,0 +1,98 @@
+"""Call-stack IDs and conservative argument matching.
+
+The paper matches recorded and replayed syscalls by *call stack ID* —
+"computed by simply hashing all the active function names on the call stack
+of the thread issuing the system call" (§5) — which is robust to
+addition/deletion/reordering of syscalls across versions.  The ID function
+itself lives with the thread machinery (``repro.kernel.process.call_stack_id``);
+this module provides the argument side:
+
+* ``sanitize_args`` — strip non-comparable values (callables become their
+  names, bytes become digests beyond a size threshold) so records are
+  version-agnostic and cheap to store.
+* ``deep_match``   — the paper's "deep comparison of the arguments",
+  following nested structure, with an fd-translation map so live-created
+  descriptors that legitimately differ between versions do not raise
+  spurious conflicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Optional
+
+from repro.kernel.process import call_stack_id  # re-exported for convenience
+
+__all__ = ["call_stack_id", "sanitize_args", "sanitize_result", "deep_match"]
+
+_INLINE_BYTES_LIMIT = 64
+
+# Argument keys that hold file descriptor numbers, for translation-aware
+# comparison.  (The simulated syscall ABI uses keyword args throughout.)
+_FD_KEYS = {"fd"}
+
+
+def _sanitize(value: Any) -> Any:
+    if callable(value):
+        return f"<fn:{getattr(value, '__name__', 'anonymous')}>"
+    if isinstance(value, (bytes, bytearray)):
+        data = bytes(value)
+        if len(data) <= _INLINE_BYTES_LIMIT:
+            return data
+        digest = hashlib.sha1(data).hexdigest()[:16]
+        return f"<bytes:{len(data)}:{digest}>"
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    # Opaque runtime objects (e.g. shared in-process structures passed to
+    # thread bodies) are matched by type only: their identity is
+    # version-local and never comparable across versions.
+    return f"<obj:{type(value).__name__}>"
+
+
+def sanitize_args(args: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a syscall argument dict for recording/comparison."""
+    return {k: _sanitize(v) for k, v in args.items()}
+
+
+def sanitize_result(value: Any) -> Any:
+    return _sanitize(value)
+
+
+def deep_match(
+    recorded: Any,
+    observed: Any,
+    fd_translation: Optional[Dict[int, int]] = None,
+    _key: Optional[str] = None,
+) -> bool:
+    """Deep-compare a recorded argument structure against an observed one.
+
+    ``fd_translation`` maps old-version fd numbers to the new version's
+    live-created equivalents; an fd-valued field matches when the observed
+    number equals the recorded one *or* its translation.
+    """
+    if isinstance(recorded, dict) and isinstance(observed, dict):
+        if recorded.keys() != observed.keys():
+            return False
+        return all(
+            deep_match(recorded[k], observed[k], fd_translation, _key=k)
+            for k in recorded
+        )
+    if isinstance(recorded, (list, tuple)) and isinstance(observed, (list, tuple)):
+        if len(recorded) != len(observed):
+            return False
+        return all(
+            deep_match(r, o, fd_translation, _key=_key)
+            for r, o in zip(recorded, observed)
+        )
+    if (
+        fd_translation
+        and _key in _FD_KEYS
+        and isinstance(recorded, int)
+        and isinstance(observed, int)
+    ):
+        return observed == recorded or observed == fd_translation.get(recorded)
+    return recorded == observed

@@ -1,0 +1,32 @@
+"""Mutable tracing (paper §6).
+
+A hybrid precise/conservative GC-style traversal of the old version's
+memory, followed by state transfer into the new version:
+
+* ``precise``      — typed pointer-slot enumeration from data-type tags;
+* ``conservative`` — likely-pointer scanning of opaque regions;
+* ``graph``        — object records, per-process address resolution, and
+  the hybrid walk driver;
+* ``invariants``   — immutability / nonupdatability assignment;
+* ``dirty``        — soft-dirty-based dirty-object filtering;
+* ``transform``    — cross-version type transformations;
+* ``handlers``     — user traversal handlers (``MCR_ADD_OBJ_HANDLER``);
+* ``transfer``     — the state-transfer engine (pairing, relocation,
+  pointer fixup, parallel multiprocess accounting).
+"""
+
+from repro.mcr.tracing.graph import GraphBuilder, ObjectRecord, PointerSlot, TraceResult
+from repro.mcr.tracing.dirty import DirtyFilter
+from repro.mcr.tracing.invariants import apply_invariants
+from repro.mcr.tracing.transfer import StateTransfer, TransferReport
+
+__all__ = [
+    "GraphBuilder",
+    "ObjectRecord",
+    "PointerSlot",
+    "TraceResult",
+    "DirtyFilter",
+    "apply_invariants",
+    "StateTransfer",
+    "TransferReport",
+]

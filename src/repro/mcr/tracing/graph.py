@@ -1,0 +1,441 @@
+"""Object records, address resolution, and the hybrid walk driver.
+
+``GraphBuilder`` reconstructs the old version's reachable program state:
+starting from root objects (global variables, plus the stack variables of
+threads parked at quiescent points) it traverses *precisely* wherever a
+data-type tag provides layout, and hands every opaque byte range — untagged
+allocations, unions, char buffers, pointer-sized integers per policy — to
+the conservative scanner.  The result is the object graph plus the
+precise/likely pointer statistics of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.kernel.process import Process
+from repro.mcr.config import MCRConfig
+from repro.mcr.tracing import conservative, precise
+from repro.mem.tags import DataTag
+from repro.types.descriptors import TypeDesc
+
+# Memory regions for Table-2 classification.
+REGION_STATIC = "static"
+REGION_DYNAMIC = "dynamic"
+REGION_LIB = "lib"
+
+_KIND_TO_REGION = {
+    "data": REGION_STATIC,
+    "stack": REGION_STATIC,
+    "heap": REGION_DYNAMIC,
+    "mmap": REGION_DYNAMIC,
+    "lib": REGION_LIB,
+}
+
+
+class ObjectRecord:
+    """One state object discovered in the old version."""
+
+    __slots__ = (
+        "base",
+        "size",
+        "region",
+        "type",
+        "tag",
+        "site",
+        "name",
+        "startup",
+        "immutable",
+        "nonupdatable",
+        "conservatively_traversed",
+        "is_root",
+        "visited",
+        "gap_ranges",
+    )
+
+    def __init__(
+        self,
+        base: int,
+        size: int,
+        region: str,
+        type_: Optional[TypeDesc] = None,
+        tag: Optional[DataTag] = None,
+    ) -> None:
+        self.base = base
+        self.size = size
+        self.region = region
+        self.type = type_
+        self.tag = tag
+        self.site = tag.site if tag is not None else ""
+        self.name = tag.name if tag is not None else ""
+        self.startup = False
+        self.immutable = False
+        self.nonupdatable = False
+        self.conservatively_traversed = False
+        self.is_root = False
+        self.visited = False
+        # For container blocks holding tagged sub-objects (instrumented
+        # custom allocators): the untagged (offset, size) gaps that were
+        # conservatively scanned — the only bytes transfer copies verbatim.
+        self.gap_ranges = None
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            c
+            for c, on in (
+                ("I", self.immutable),
+                ("N", self.nonupdatable),
+                ("C", self.conservatively_traversed),
+                ("R", self.is_root),
+            )
+            if on
+        )
+        label = self.name or self.site or (self.type.name if self.type else "opaque")
+        return f"<Obj 0x{self.base:x}+{self.size} {self.region} {label} [{flags}]>"
+
+
+class PointerSlot:
+    """One traced pointer: where it sits and what it targets."""
+
+    __slots__ = ("slot_address", "container_base", "value", "target_base", "kind", "interior")
+
+    def __init__(
+        self,
+        slot_address: int,
+        container_base: int,
+        value: int,
+        target_base: int,
+        kind: str,  # "precise" | "likely"
+        interior: bool,
+    ) -> None:
+        self.slot_address = slot_address
+        self.container_base = container_base
+        self.value = value
+        self.target_base = target_base
+        self.kind = kind
+        self.interior = interior
+
+
+class AddressResolver:
+    """Resolve an address to the live object containing it."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+
+    def resolve(self, address: int) -> Optional[Tuple[int, int, Optional[int], Optional[DataTag]]]:
+        """Return ``(base, size, align_or_None, tag_or_None)`` or ``None``."""
+        process = self.process
+        tag = process.tags.find_containing(address)
+        if tag is not None:
+            return tag.address, tag.type.size, tag.type.align, tag
+        chunk = process.heap.find_chunk(address)
+        if chunk is not None:
+            return chunk.user_base, chunk.user_size, None, None
+        # Superobject spans inherited by a previous live update: opaque
+        # immutable memory with no chunk bookkeeping.  Without this, a
+        # second chained update could not trace pointers into state that
+        # the first update pinned.
+        reserved = process.heap.reserved_containing(address)
+        if reserved is not None:
+            return reserved[0], reserved[1], None, None
+        symbols = getattr(process, "symbols", None)
+        if symbols is not None:
+            symbol = symbols.find_containing(address)
+            if symbol is not None:
+                return symbol.address, symbol.type.size, symbol.type.align, None
+        mapping = process.space.mapping_at(address)
+        if mapping is not None and mapping.kind == "lib":
+            # Untagged library state: resolve at image granularity.
+            return mapping.base, mapping.size, None, None
+        return None
+
+    def resolve_for_scan(self, address: int) -> Optional[Tuple[int, int, Optional[int]]]:
+        resolved = self.resolve(address)
+        if resolved is None:
+            return None
+        base, size, align, _tag = resolved
+        return base, size, align
+
+
+class TraceResult:
+    """The object graph plus pointer statistics for one process."""
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.objects: Dict[int, ObjectRecord] = {}
+        self.precise_pointers: List[PointerSlot] = []
+        self.likely_pointers: List[PointerSlot] = []
+        self.dangling_precise = 0
+        self.words_scanned = 0
+
+    def record_for(self, base: int) -> Optional[ObjectRecord]:
+        return self.objects.get(base)
+
+    # -- Table 2 ------------------------------------------------------------------
+
+    def _classify(self, pointers: List[PointerSlot]) -> Dict[str, int]:
+        def region_of(address: int) -> str:
+            mapping = self.process.space.mapping_at(address)
+            if mapping is None:
+                return REGION_DYNAMIC
+            return _KIND_TO_REGION.get(mapping.kind, REGION_DYNAMIC)
+
+        counts = {
+            "ptr": len(pointers),
+            "src_static": 0,
+            "src_dynamic": 0,
+            "src_lib": 0,
+            "targ_static": 0,
+            "targ_dynamic": 0,
+            "targ_lib": 0,
+        }
+        for slot in pointers:
+            counts[f"src_{region_of(slot.slot_address)}"] += 1
+            counts[f"targ_{region_of(slot.target_base)}"] += 1
+        return counts
+
+    def table2_row(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "precise": self._classify(self.precise_pointers),
+            "likely": self._classify(self.likely_pointers),
+        }
+
+    def immutable_objects(self) -> List[ObjectRecord]:
+        return [o for o in self.objects.values() if o.immutable]
+
+    def immutable_fraction(self) -> float:
+        if not self.objects:
+            return 0.0
+        return len(self.immutable_objects()) / len(self.objects)
+
+
+class GraphBuilder:
+    """Hybrid precise/conservative traversal of one quiesced process."""
+
+    def __init__(
+        self,
+        process: Process,
+        config: Optional[MCRConfig] = None,
+        annotations=None,
+    ) -> None:
+        self.process = process
+        self.config = config or MCRConfig()
+        self.annotations = annotations or getattr(
+            getattr(process, "program", None), "annotations", None
+        )
+        self.resolver = AddressResolver(process)
+        self.result = TraceResult(process)
+        self._worklist: deque = deque()
+
+    # -- public API ---------------------------------------------------------------
+
+    def build(self) -> TraceResult:
+        self._add_static_roots()
+        self._add_stack_roots()
+        while self._worklist:
+            record = self._worklist.popleft()
+            if record.visited:
+                continue
+            record.visited = True
+            self._visit(record)
+        return self.result
+
+    # -- roots -----------------------------------------------------------------------
+
+    def _add_static_roots(self) -> None:
+        symbols = getattr(self.process, "symbols", None)
+        if symbols is None:
+            return
+        for symbol in symbols:
+            record = self._intern(symbol.address)
+            if record is not None:
+                record.is_root = True
+                record.name = record.name or symbol.name
+
+    def _add_stack_roots(self) -> None:
+        crt = getattr(self.process, "crt", None)
+        if crt is None:
+            return
+        for thread in self.process.live_threads():
+            area = crt._stacks.get(thread.tid)
+            if area is None:
+                continue
+            for _name, address, _type in area.overlay:
+                record = self._intern(address)
+                if record is not None:
+                    record.is_root = True
+
+    # -- interning ----------------------------------------------------------------------
+
+    def _intern(self, address: int) -> Optional[ObjectRecord]:
+        resolved = self.resolver.resolve(address)
+        if resolved is None:
+            return None
+        base, size, _align, tag = resolved
+        record = self.result.objects.get(base)
+        if record is None:
+            region = _KIND_TO_REGION.get(
+                getattr(self.process.space.mapping_at(base), "kind", "heap"),
+                REGION_DYNAMIC,
+            )
+            type_ = tag.type if tag is not None else None
+            record = ObjectRecord(base, size, region, type_, tag)
+            chunk = self.process.heap.find_chunk(base)
+            if chunk is not None:
+                record.startup = chunk.startup
+                if not record.site:
+                    record.site = str(chunk.site_id)
+            self.result.objects[base] = record
+            self._worklist.append(record)
+        return record
+
+    # -- visiting ------------------------------------------------------------------------
+
+    def _visit(self, record: ObjectRecord) -> None:
+        if record.region == REGION_LIB and not self.config.transfer_shared_libs:
+            # Library state is not analyzed by default (paper §6); the
+            # object exists (it can be a likely-pointer target) but its
+            # contents stay unscanned.
+            return
+        if (
+            self.annotations is not None
+            and record.name in self.annotations.encoded_pointers
+        ):
+            # Annotated encoded pointer (nginx low-bit idiom, union-hidden
+            # pointers): decode precisely even though the type is opaque.
+            self._visit_encoded(record)
+            return
+        forced_opaque = (
+            self.annotations is not None
+            and (record.name in self.annotations.opaque_overrides)
+        )
+        if record.type is not None and not forced_opaque and not record.type.is_opaque():
+            self._visit_precise(record)
+        else:
+            self._visit_conservative(record, 0, record.size)
+
+    def _visit_encoded(self, record: ObjectRecord) -> None:
+        """Decode an annotated encoded-pointer object precisely."""
+        space = self.process.space
+        mask = self.annotations.encoded_pointers[record.name]
+        value = space.read_word(record.base) & ~mask
+        if value:
+            resolved = self.resolver.resolve(value)
+            if resolved is not None:
+                target_base = resolved[0]
+                if self._intern(target_base) is not None:
+                    self.result.precise_pointers.append(
+                        PointerSlot(
+                            record.base,
+                            record.base,
+                            value,
+                            target_base,
+                            "precise",
+                            value != target_base,
+                        )
+                    )
+
+    def _visit_precise(self, record: ObjectRecord) -> None:
+        space = self.process.space
+        for offset, _ptr_type in precise.pointer_slots(record.type):
+            slot = record.base + offset
+            value = space.read_word(slot)
+            if value == 0:
+                continue
+            resolved = self.resolver.resolve(value)
+            if resolved is None:
+                self.result.dangling_precise += 1
+                continue
+            target_base, _size, _align, _tag = resolved
+            target = self._intern(target_base)
+            if target is None:
+                continue
+            self.result.precise_pointers.append(
+                PointerSlot(slot, record.base, value, target_base, "precise", value != target_base)
+            )
+        for offset, size in precise.opaque_ranges(record.type):
+            self._visit_conservative(record, offset, size)
+        if self.config.scan_opaque_int64:
+            slots = precise.int_word_slots(record.type)
+            if slots:
+                found, scanned = conservative.scan_words(
+                    space, iter(slots), record.base, self.resolver.resolve_for_scan
+                )
+                self.result.words_scanned += scanned
+                self._absorb_likely(record, found)
+
+    def _visit_conservative(self, record: ObjectRecord, offset: int, size: int) -> None:
+        start = record.base + offset
+        end = start + size
+        # An untyped container (e.g. a region block from an *instrumented*
+        # custom allocator) may hold tagged sub-objects: trace those
+        # precisely and scan only the untagged gaps conservatively.  This
+        # is what converts likely pointers into precise ones in the
+        # paper's nginx_reg configuration.
+        inner = []
+        if record.tag is None:
+            inner = [
+                t
+                for t in self.process.tags.tags_in_range(start, end)
+                if t.address != record.base
+            ]
+        if offset == 0 and size == record.size:
+            record.conservatively_traversed = True
+        if inner:
+            gaps = []
+            cursor = start
+            for tag in inner:
+                if tag.address > cursor:
+                    gaps.append((cursor - record.base, tag.address - cursor))
+                self._intern(tag.address)
+                cursor = max(cursor, tag.end)
+            if cursor < end:
+                gaps.append((cursor - record.base, end - cursor))
+            record.gap_ranges = gaps
+            for gap_offset, gap_size in gaps:
+                found, scanned = conservative.scan_range(
+                    self.process.space,
+                    record.base + gap_offset,
+                    gap_size,
+                    self.resolver.resolve_for_scan,
+                )
+                self.result.words_scanned += scanned
+                self._absorb_likely(record, found)
+            return
+        found, scanned = conservative.scan_range(
+            self.process.space,
+            start,
+            size,
+            self.resolver.resolve_for_scan,
+        )
+        self.result.words_scanned += scanned
+        self._absorb_likely(record, found)
+
+    def _absorb_likely(self, container: ObjectRecord, found: List[conservative.LikelyPointer]) -> None:
+        for likely in found:
+            target = self._intern(likely.target_base)
+            if target is None:
+                continue
+            # Invariants (paper §6): targets of likely pointers cannot be
+            # relocated nor type-transformed; containers of likely pointers
+            # cannot be type-transformed.  The optional interior-only
+            # refinement keeps base-pointer targets type-transformable.
+            target.immutable = True
+            if likely.interior or not self.config.interior_only_nonupdatable:
+                target.nonupdatable = True
+            container.nonupdatable = True
+            self.result.likely_pointers.append(
+                PointerSlot(
+                    likely.slot_address,
+                    container.base,
+                    likely.value,
+                    likely.target_base,
+                    "likely",
+                    likely.interior,
+                )
+            )

@@ -1,0 +1,66 @@
+"""User traversal handlers: the ``MCR_ADD_OBJ_HANDLER`` machinery.
+
+A traversal handler intervenes in the transfer of one object — the escape
+hatch for everything mutable tracing cannot infer (paper §3/§6):
+
+* pointers hidden behind special encodings (nginx stores metadata in the
+  two least-significant bits of some pointers);
+* semantic state transformations (e.g. re-deriving an index structure);
+* objects whose bytes must be synthesized rather than copied.
+
+The handler receives a ``TraversalContext`` and either leaves
+``ctx.transformed`` as produced by the default transformer (possibly
+editing it in place) or replaces it wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.mcr.tracing.graph import ObjectRecord
+
+
+class TraversalContext:
+    """What an object handler sees during state transfer."""
+
+    def __init__(
+        self,
+        record: ObjectRecord,
+        old_value: Any,
+        transformed: Any,
+        translate_pointer: Callable[[int], int],
+        old_type,
+        new_type,
+    ) -> None:
+        self.record = record
+        self.old_value = old_value
+        self.transformed = transformed
+        self.translate_pointer = translate_pointer
+        self.old_type = old_type
+        self.new_type = new_type
+        self.skip = False  # handler may suppress the transfer entirely
+        # Set by the transfer engine for typed objects: handlers doing
+        # semantic transformations may need to read surrounding state.
+        self.old_proc = None
+        self.new_proc = None
+
+    # -- helpers for common encodings --------------------------------------------
+
+    def translate_tagged_pointer(self, word: int, tag_bits: int = 0x3) -> int:
+        """Translate a pointer that hides metadata in its low bits.
+
+        This is exactly the nginx case from the paper's evaluation: "22 LOC
+        to annotate a number of global pointers using special data
+        encoding — storing metadata in the 2 least significant bits".
+        """
+        tags = word & tag_bits
+        address = word & ~tag_bits
+        if address == 0:
+            return word
+        return self.translate_pointer(address) | tags
+
+    def replace(self, value: Any) -> None:
+        self.transformed = value
+
+    def suppress(self) -> None:
+        self.skip = True

@@ -1,0 +1,77 @@
+"""Invariant assignment for traced objects (paper §6).
+
+The conservative analysis derives two invariants:
+
+* **immutability** — the object cannot be relocated in the new version
+  (it must reappear at the same virtual address);
+* **nonupdatability** — the object cannot be type-transformed (a type
+  change detected for it is a conflict).
+
+Rules applied here (the graph walk already set target/container flags as
+likely pointers were found):
+
+1. likely-pointer targets: immutable + nonupdatable;
+2. likely-pointer containers: nonupdatable;
+3. conservatively-traversed objects (no usable type information):
+   immutable — their interior pointers cannot be fixed up precisely, so
+   the bytes must stay put — and nonupdatable;
+4. shared-library objects: immutable (the prelinked image is remapped at
+   the same base; its state is not transformed).
+
+The resulting immutable set feeds the offline relink step: pinned static
+symbols, library bases, and heap superobject spans for global reallocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.mcr.tracing.graph import REGION_DYNAMIC, REGION_LIB, REGION_STATIC, TraceResult
+
+
+def apply_invariants(result: TraceResult) -> TraceResult:
+    """Finalize immutability/nonupdatability over a built graph."""
+    for record in result.objects.values():
+        if record.conservatively_traversed:
+            record.immutable = True
+            record.nonupdatable = True
+        if record.region == REGION_LIB:
+            record.immutable = True
+            record.nonupdatable = True
+    return result
+
+
+def immutable_static_symbols(result: TraceResult) -> List[str]:
+    """Names of immutable static objects (to pin via linker script)."""
+    names: List[str] = []
+    for record in result.objects.values():
+        if record.immutable and record.region == REGION_STATIC and record.name:
+            names.append(record.name)
+    return names
+
+
+def immutable_heap_spans(result: TraceResult) -> List[Tuple[int, int]]:
+    """(address, size) spans of immutable dynamic objects (superobjects)."""
+    spans: List[Tuple[int, int]] = []
+    heap = result.process.heap
+    for record in result.objects.values():
+        if not record.immutable or record.region != REGION_DYNAMIC:
+            continue
+        chunk = heap.find_chunk(record.base)
+        if chunk is not None:
+            # Reserve the whole chunk (header included) so the new heap
+            # cannot interleave allocations with the superobject.
+            spans.append((chunk.base, chunk.total_size))
+        else:
+            spans.append((record.base, record.size))
+    return spans
+
+
+def invariant_counts(result: TraceResult) -> Dict[str, int]:
+    records = list(result.objects.values())
+    return {
+        "objects": len(records),
+        "immutable": sum(1 for r in records if r.immutable),
+        "nonupdatable": sum(1 for r in records if r.nonupdatable),
+        "conservative": sum(1 for r in records if r.conservatively_traversed),
+    }

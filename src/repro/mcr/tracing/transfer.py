@@ -1,0 +1,483 @@
+"""The state-transfer engine (paper §6).
+
+For each quiesced new-version process, paired with its old-version
+counterpart by creation-time call-stack ID:
+
+1. **Trace** the old process (hybrid precise/conservative graph).
+2. **Filter** by soft-dirty bits: clean mutable objects were already
+   reinitialized by the new version's startup code and are skipped.
+3. **Pair & allocate**: statics by symbol name; startup-time dynamic
+   objects by allocation-site call-stack ID (they were re-created by
+   mutable reinitialization); immutable objects by identity (their
+   superobjects were pre-reserved); remaining dirty dynamic objects are
+   freshly allocated in the new heap with the *new* type.
+4. **Copy & transform**: typed objects go through the type transformer
+   with pointer translation; conservatively-traversed objects are copied
+   verbatim (their likely-pointer targets are immutable, so their bytes
+   remain valid); nonupdatable objects whose type changed raise a
+   conflict unless a user object handler resolves it.
+
+The engine accounts every work item against ``TransferCostModel`` so the
+update-time evaluation (Figure 3) is deterministic: total virtual time =
+coordinator bring-up + serial per-process channel setup + the *max* of
+per-process work (state transfer parallelizes across the hierarchy).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConflictError, StateTransferError
+from repro.kernel.process import Process
+from repro.mcr.config import MCRConfig, TransferCostModel
+from repro.mcr.tracing.dirty import DirtyFilter
+from repro.mcr.tracing.graph import (
+    GraphBuilder,
+    ObjectRecord,
+    REGION_DYNAMIC,
+    REGION_LIB,
+    REGION_STATIC,
+    TraceResult,
+)
+from repro.mcr.tracing.handlers import TraversalContext
+from repro.mcr.tracing.invariants import apply_invariants
+from repro.mcr.tracing.transform import transform_value
+from repro.mem.tags import ORIGIN_HEAP
+from repro.types import codec
+from repro.types.descriptors import TypeDesc
+
+
+class ProcessTransferStats:
+    """Work-item counts for one process pair."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.objects_traced = 0
+        self.objects_transferred = 0
+        self.objects_skipped_clean = 0
+        self.bytes_copied = 0
+        self.pointers_fixed = 0
+        self.transforms = 0
+        self.words_scanned = 0
+        self.pages_scanned = 0
+        self.reduction = 0.0
+        self.bytes_traced_total = 0
+        self.bytes_clean = 0
+
+    def work_ns(self, cost: TransferCostModel) -> int:
+        return (
+            self.objects_traced * cost.per_object_visit_ns
+            + self.bytes_copied * cost.per_byte_copy_ns
+            + self.pointers_fixed * cost.per_pointer_fixup_ns
+            + self.transforms * cost.per_transform_ns
+            + self.words_scanned * cost.per_likely_scan_word_ns
+            + self.pages_scanned * cost.per_page_scan_ns
+        )
+
+
+class TransferReport:
+    """Aggregate outcome of one state transfer."""
+
+    def __init__(self) -> None:
+        self.per_process: List[ProcessTransferStats] = []
+        self.trace_results: Dict[int, TraceResult] = {}
+        self.total_ns = 0
+        self.conflicts: List[str] = []
+
+    def total_ms(self) -> float:
+        return self.total_ns / 1_000_000
+
+    def serial_total_ns(self, cost) -> int:
+        """What the transfer would cost WITHOUT cross-process parallelism
+        (ablation of the paper's "parallel state transfer strategy")."""
+        base = cost.base_coordination_ns
+        base += len(self.per_process) * cost.process_channel_setup_ns
+        return base + sum(s.work_ns(cost) for s in self.per_process)
+
+    def aggregate_table2(self) -> Dict[str, Dict[str, int]]:
+        keys = (
+            "ptr",
+            "src_static",
+            "src_dynamic",
+            "src_lib",
+            "targ_static",
+            "targ_dynamic",
+            "targ_lib",
+        )
+        out = {
+            "precise": {k: 0 for k in keys},
+            "likely": {k: 0 for k in keys},
+        }
+        for result in self.trace_results.values():
+            row = result.table2_row()
+            for kind in ("precise", "likely"):
+                for key in keys:
+                    out[kind][key] += row[kind][key]
+        return out
+
+    def mean_reduction(self) -> float:
+        if not self.per_process:
+            return 0.0
+        return sum(s.reduction for s in self.per_process) / len(self.per_process)
+
+    def aggregate_reduction(self) -> float:
+        """Fraction of traced *bytes* skipped as clean, across the tree
+        (the paper's 68-86% figure is state-weighted, not per-process)."""
+        total = sum(s.bytes_traced_total for s in self.per_process)
+        clean = sum(s.bytes_clean for s in self.per_process)
+        return clean / total if total else 0.0
+
+
+class _AddressIndex:
+    """Containing-object lookup over a trace result."""
+
+    def __init__(self, result: TraceResult) -> None:
+        self._bases = sorted(result.objects)
+        self._objects = result.objects
+
+    def find(self, address: int) -> Optional[ObjectRecord]:
+        index = bisect.bisect_right(self._bases, address) - 1
+        # Objects can nest (tagged sub-objects inside a container block):
+        # prefer the innermost (closest base), walking back as needed.
+        while index >= 0:
+            record = self._objects[self._bases[index]]
+            if record.base <= address < record.end:
+                return record
+            if record.end <= address and record.base + (1 << 24) < address:
+                break  # far past any plausible container
+            index -= 1
+        return None
+
+
+class StateTransfer:
+    """Transfer state from an old (quiesced) tree to a new one."""
+
+    def __init__(
+        self,
+        old_root: Process,
+        new_root: Process,
+        new_program,
+        config: Optional[MCRConfig] = None,
+        cost: Optional[TransferCostModel] = None,
+        use_dirty_filter: bool = True,
+    ) -> None:
+        self.old_root = old_root
+        self.new_root = new_root
+        self.new_program = new_program
+        self.config = config or MCRConfig()
+        self.cost = cost or TransferCostModel()
+        # Ablation switch: with dirty filtering off, every paired mutable
+        # object is transferred (what a non-incremental MCR would do).
+        self.use_dirty_filter = use_dirty_filter
+        self.report = TransferReport()
+
+    # -- top level -----------------------------------------------------------------
+
+    def run(self) -> TransferReport:
+        pairs = self.pair_processes()
+        process_work_ns: List[int] = []
+        for old_proc, new_proc in pairs:
+            stats = self._transfer_process(old_proc, new_proc)
+            self.report.per_process.append(stats)
+            process_work_ns.append(stats.work_ns(self.cost))
+        total = self.cost.base_coordination_ns
+        total += len(pairs) * self.cost.process_channel_setup_ns
+        total += max(process_work_ns) if process_work_ns else 0
+        self.report.total_ns = total
+        return self.report
+
+    def pair_processes(self) -> List[Tuple[Process, Process]]:
+        """Match old/new processes by creation-time call-stack ID.
+
+        pids were forced to match during mutable reinitialization, so the
+        pid is checked as a secondary invariant.
+        """
+        new_by_stack: Dict[int, List[Process]] = {}
+        for process in self.new_root.tree():
+            new_by_stack.setdefault(process.creation_stack_id, []).append(process)
+        pairs: List[Tuple[Process, Process]] = []
+        for old_proc in self.old_root.tree():
+            candidates = new_by_stack.get(old_proc.creation_stack_id, [])
+            match = None
+            for candidate in candidates:
+                if candidate.pid == old_proc.pid:
+                    match = candidate
+                    break
+            if match is None and candidates:
+                match = candidates[0]
+            if match is None:
+                raise StateTransferError(
+                    f"no new-version counterpart for process {old_proc.name} "
+                    f"(pid {old_proc.pid}, stack {'/'.join(old_proc.creation_stack)})"
+                )
+            candidates.remove(match)
+            pairs.append((old_proc, match))
+        return pairs
+
+    # -- per-process transfer -----------------------------------------------------------
+
+    def _transfer_process(self, old_proc: Process, new_proc: Process) -> ProcessTransferStats:
+        stats = ProcessTransferStats(old_proc.pid)
+        annotations = getattr(self.new_program, "annotations", None)
+        trace = apply_invariants(
+            GraphBuilder(old_proc, self.config, annotations=annotations).build()
+        )
+        self.report.trace_results[old_proc.pid] = trace
+        stats.objects_traced = len(trace.objects)
+        stats.words_scanned = trace.words_scanned
+        dirty_filter = DirtyFilter(old_proc)
+        reduction = dirty_filter.reduction_stats(trace)
+        stats.pages_scanned = dirty_filter.pages_scanned
+        stats.reduction = reduction["reduction"]
+        stats.bytes_traced_total = reduction["bytes_total"]
+        stats.bytes_clean = reduction["bytes_clean"]
+        index = _AddressIndex(trace)
+        # Pass 1: pair every traced object with a new-version address.
+        addr_map, to_transfer = self._pair_objects(trace, old_proc, new_proc, dirty_filter, stats)
+
+        def translate(old_ptr: int) -> int:
+            if old_ptr == 0:
+                return 0
+            record = index.find(old_ptr)
+            if record is None:
+                raise ConflictError(
+                    "tracing", f"0x{old_ptr:x}", "pointer into untraced memory"
+                )
+            new_base = addr_map.get(record.base)
+            if new_base is None:
+                raise ConflictError(
+                    "tracing",
+                    record.name or f"0x{record.base:x}",
+                    "pointer to an object with no new-version counterpart",
+                )
+            stats.pointers_fixed += 1
+            return new_base + (old_ptr - record.base)
+
+        # Pass 2: copy/transform contents.
+        for record in to_transfer:
+            self._transfer_object(record, addr_map[record.base], old_proc, new_proc, translate, stats)
+        return stats
+
+    def _pair_objects(
+        self,
+        trace: TraceResult,
+        old_proc: Process,
+        new_proc: Process,
+        dirty_filter: DirtyFilter,
+        stats: ProcessTransferStats,
+    ) -> Tuple[Dict[int, int], List[ObjectRecord]]:
+        addr_map: Dict[int, int] = {}
+        to_transfer: List[ObjectRecord] = []
+        new_symbols = getattr(new_proc, "symbols", None)
+        startup_pool = self._startup_pool(new_proc)
+        stack_pool = self._stack_pool(new_proc)
+        for record in trace.objects.values():
+            dirty = dirty_filter.is_dirty(record) if self.use_dirty_filter else True
+            if record.immutable:
+                # Identity mapping; contents always refreshed (the new
+                # version never re-created these bytes at this address).
+                addr_map[record.base] = record.base
+                to_transfer.append(record)
+                continue
+            if record.region == REGION_STATIC and record.name:
+                if new_symbols is not None and record.name in new_symbols:
+                    symbol = new_symbols.lookup(record.name)
+                    addr_map[record.base] = symbol.address
+                    if dirty:
+                        to_transfer.append(record)
+                    else:
+                        stats.objects_skipped_clean += 1
+                # Deleted globals stay unmapped; a pointer reaching one
+                # later raises a conflict (the update dropped live state).
+                continue
+            if record.region == REGION_DYNAMIC and record.startup:
+                counterpart = self._pop_startup_match(startup_pool, record)
+                if counterpart is not None:
+                    addr_map[record.base] = counterpart
+                    if dirty:
+                        to_transfer.append(record)
+                    else:
+                        stats.objects_skipped_clean += 1
+                    continue
+                # No startup counterpart (the new version no longer
+                # allocates it): fall through to fresh reallocation.
+            if record.region == REGION_STATIC and not record.name:
+                # Stack variable (tracked via overlay metadata).
+                counterpart = self._pop_stack_match(stack_pool, record, old_proc)
+                if counterpart is not None:
+                    addr_map[record.base] = counterpart
+                    if dirty:
+                        to_transfer.append(record)
+                    else:
+                        stats.objects_skipped_clean += 1
+                continue
+            # Mutable dynamic object: reallocate in the new heap with the
+            # new version's type.
+            new_type = self._new_type_for(record)
+            address = new_proc.heap.malloc(new_type.size)
+            new_proc.tags.register(address, new_type, ORIGIN_HEAP, site=record.site)
+            addr_map[record.base] = address
+            to_transfer.append(record)
+        return addr_map, to_transfer
+
+    def _transfer_object(
+        self,
+        record: ObjectRecord,
+        new_base: int,
+        old_proc: Process,
+        new_proc: Process,
+        translate,
+        stats: ProcessTransferStats,
+    ) -> None:
+        annotations = getattr(self.new_program, "annotations", None)
+        if record.region == REGION_LIB and not self.config.transfer_shared_libs:
+            # Library state is reinitialized by the new version itself.
+            return
+        old_type = record.type
+        new_type = self._new_type_for(record)
+        type_changed = (
+            old_type is not None and old_type.signature() != new_type.signature()
+        )
+        handler = None
+        if annotations is not None:
+            handler = annotations.obj_handler_for(
+                record.name, old_type.name if old_type else ""
+            )
+        if record.nonupdatable and type_changed and handler is None:
+            conflict = ConflictError(
+                "tracing",
+                record.name or f"0x{record.base:x}",
+                f"type of conservatively-handled object changed "
+                f"({old_type.name}); annotation required",
+            )
+            self.report.conflicts.append(str(conflict))
+            raise conflict
+        if old_type is None or record.conservatively_traversed:
+            if record.gap_ranges is not None:
+                # Container block with precisely-traced sub-objects: copy
+                # only the untagged gaps; the sub-objects transfer through
+                # their own (typed) records.
+                for gap_offset, gap_size in record.gap_ranges:
+                    data = old_proc.space.read_bytes(record.base + gap_offset, gap_size)
+                    new_proc.space.write_bytes(new_base + gap_offset, data)
+                    stats.bytes_copied += gap_size
+                stats.objects_transferred += 1
+                return
+            # Verbatim copy: targets of its interior pointers are immutable.
+            data = old_proc.space.read_bytes(record.base, record.size)
+            if handler is not None:
+                context = TraversalContext(record, data, data, translate, old_type, new_type)
+                handler.handler(context)
+                if context.skip:
+                    return
+                data = bytes(context.transformed)
+            new_proc.space.write_bytes(new_base, data)
+            stats.bytes_copied += record.size
+            stats.objects_transferred += 1
+            return
+        if annotations is not None and record.name in annotations.encoded_pointers:
+            # Re-encode an annotated tagged pointer: translate the address
+            # bits of the leading word, preserve the metadata bits and any
+            # trailing buffer content.
+            mask = annotations.encoded_pointers[record.name]
+            data = bytearray(old_proc.space.read_bytes(record.base, record.size))
+            word = int.from_bytes(data[:8], "little")
+            address = word & ~mask
+            if address:
+                word = translate(address) | (word & mask)
+            data[:8] = word.to_bytes(8, "little")
+            new_proc.space.write_bytes(new_base, bytes(data))
+            stats.bytes_copied += record.size
+            stats.objects_transferred += 1
+            return
+        old_value = codec.read_value(old_proc.space, record.base, old_type)
+        transformed = transform_value(
+            old_type,
+            new_type,
+            old_value,
+            translate,
+            subject=record.name or old_type.name,
+        )
+        if type_changed:
+            stats.transforms += 1
+        if handler is not None:
+            context = TraversalContext(
+                record, old_value, transformed, translate, old_type, new_type
+            )
+            context.old_proc = old_proc
+            context.new_proc = new_proc
+            handler.handler(context)
+            if context.skip:
+                return
+            transformed = context.transformed
+        codec.write_value(new_proc.space, new_base, new_type, transformed)
+        stats.bytes_copied += new_type.size
+        stats.objects_transferred += 1
+
+    # -- pairing pools ---------------------------------------------------------------------
+
+    def _startup_pool(self, new_proc: Process) -> Dict[str, List[int]]:
+        """New-version startup allocations, FIFO per allocation site.
+
+        Includes instrumented custom-allocator (region) objects: their
+        containing block is a startup heap chunk, and their tag carries
+        the allocation-site call stack just like a malloc's.
+        """
+        pool: Dict[str, List[int]] = {}
+        for origin in (ORIGIN_HEAP, "region"):
+            for tag in new_proc.tags.tags(origin=origin):
+                chunk = new_proc.heap.find_chunk(tag.address)
+                if chunk is not None and chunk.startup:
+                    pool.setdefault(tag.site, []).append(tag.address)
+        for addresses in pool.values():
+            addresses.sort()
+        return pool
+
+    def _pop_startup_match(self, pool: Dict[str, List[int]], record: ObjectRecord) -> Optional[int]:
+        site = record.tag.site if record.tag is not None else record.site
+        addresses = pool.get(site)
+        if addresses:
+            return addresses.pop(0)
+        return None
+
+    def _stack_pool(self, new_proc: Process) -> Dict[Tuple[int, str], int]:
+        """New-version stack variables keyed by (thread class, var name)."""
+        pool: Dict[Tuple[int, str], int] = {}
+        crt = getattr(new_proc, "crt", None)
+        if crt is None:
+            return pool
+        for thread in new_proc.live_threads():
+            area = crt._stacks.get(thread.tid)
+            if area is None:
+                continue
+            for name, address, _type in area.overlay:
+                pool[(thread.creation_stack_id, name)] = address
+        return pool
+
+    def _pop_stack_match(
+        self, pool: Dict[Tuple[int, str], int], record: ObjectRecord, old_proc: Process
+    ) -> Optional[int]:
+        if record.tag is None or not record.tag.name:
+            return None
+        crt = getattr(old_proc, "crt", None)
+        if crt is None:
+            return None
+        for thread in old_proc.live_threads():
+            area = crt._stacks.get(thread.tid)
+            if area is None:
+                continue
+            for name, address, _type in area.overlay:
+                if address == record.base:
+                    return pool.get((thread.creation_stack_id, name))
+        return None
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _new_type_for(self, record: ObjectRecord) -> TypeDesc:
+        if record.type is None:
+            from repro.types.descriptors import OpaqueType
+
+            return OpaqueType(record.size)
+        new_type = self.new_program.types.get(record.type.name)
+        return new_type if new_type is not None else record.type

@@ -1,0 +1,212 @@
+"""Simulated 64-bit virtual address spaces.
+
+An ``AddressSpace`` holds disjoint ``Mapping``s (data segment, heap, stacks,
+anonymous mmaps, "shared libraries"), each backed by a real ``bytearray``.
+Pointers stored by simulated programs are genuine 8-byte little-endian
+words inside those bytearrays, which is what makes MCR's precise tracing,
+conservative likely-pointer scanning, and relocation *real* operations here
+rather than mock-ups.
+
+Layout conventions (documented, not load-bearing):
+
+* ``0x0000_0060_0000`` — static data segment(s)
+* ``0x0000_0100_0000`` — heap (ptmalloc arena, brk-style growth)
+* ``0x0000_7000_0000`` — anonymous mmap region (grows up)
+* ``0x0000_7f00_0000`` — shared-library images
+
+fork() clones an address space with copy-on-write *semantics* (we deep-copy
+eagerly; the sharing optimisation is irrelevant to MCR's behaviour, and the
+paper's RSS overhead figures are reproduced from logical footprint).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import MemoryFault
+from repro.mem.pages import PAGE_SIZE, PageTracker
+
+DATA_BASE = 0x0000_0060_0000
+HEAP_BASE = 0x0000_0100_0000
+MMAP_BASE = 0x0000_7000_0000
+LIB_BASE = 0x0000_7F00_0000
+
+
+def _round_up_pages(size: int) -> int:
+    return ((size + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE
+
+
+class Mapping:
+    """One contiguous region of simulated memory."""
+
+    def __init__(self, base: int, size: int, name: str, kind: str) -> None:
+        self.base = base
+        self.size = _round_up_pages(size)
+        self.name = name
+        self.kind = kind  # "data" | "heap" | "stack" | "mmap" | "lib"
+        self.data = bytearray(self.size)
+        self.tracker = PageTracker(base, self.size)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def clone(self) -> "Mapping":
+        twin = Mapping.__new__(Mapping)
+        twin.base = self.base
+        twin.size = self.size
+        twin.name = self.name
+        twin.kind = self.kind
+        twin.data = bytearray(self.data)
+        twin.tracker = PageTracker(self.base, self.size)
+        if self.tracker._cleared_once:  # preserve tracking state across fork
+            twin.tracker._cleared_once = True
+            twin.tracker._dirty = set(self.tracker._dirty)
+        twin.tracker.ever_written = set(self.tracker.ever_written)
+        return twin
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Mapping {self.name} [0x{self.base:x}, 0x{self.end:x}) {self.kind}>"
+
+
+class AddressSpace:
+    """A process's virtual memory: disjoint mappings + access methods."""
+
+    def __init__(self) -> None:
+        self._mappings: List[Mapping] = []
+        self._mmap_cursor = MMAP_BASE
+        self._lib_cursor = LIB_BASE
+        self.soft_dirty_faults = 0  # total write-protect faults taken
+
+    # -- mapping management --------------------------------------------
+
+    def map(
+        self,
+        size: int,
+        address: Optional[int] = None,
+        name: str = "anon",
+        kind: str = "mmap",
+        fixed: bool = False,
+    ) -> Mapping:
+        """Create a mapping; MAP_FIXED semantics when ``fixed`` is set."""
+        size = _round_up_pages(size)
+        if fixed:
+            if address is None:
+                raise ValueError("fixed mapping requires an address")
+            base = address
+        elif address is not None:
+            base = address
+        elif kind == "lib":
+            base = self._lib_cursor
+            self._lib_cursor += size + PAGE_SIZE  # guard page gap
+        else:
+            base = self._mmap_cursor
+            self._mmap_cursor += size + PAGE_SIZE
+        if base % PAGE_SIZE:
+            raise ValueError(f"mapping base not page-aligned: 0x{base:x}")
+        overlapping = self._find_overlap(base, size)
+        if overlapping is not None:
+            raise MemoryFault(base, f"mapping overlaps {overlapping.name}")
+        mapping = Mapping(base, size, name, kind)
+        self._insert(mapping)
+        return mapping
+
+    def unmap(self, base: int) -> None:
+        mapping = self.mapping_at(base)
+        if mapping is None or mapping.base != base:
+            raise MemoryFault(base, "munmap of unmapped base")
+        self._mappings.remove(mapping)
+
+    def _insert(self, mapping: Mapping) -> None:
+        self._mappings.append(mapping)
+        self._mappings.sort(key=lambda m: m.base)
+
+    def _find_overlap(self, base: int, size: int) -> Optional[Mapping]:
+        end = base + size
+        for m in self._mappings:
+            if m.base < end and base < m.end:
+                return m
+        return None
+
+    def mapping_at(self, address: int) -> Optional[Mapping]:
+        for m in self._mappings:
+            if m.contains(address):
+                return m
+        return None
+
+    def mappings(self, kind: Optional[str] = None) -> Iterator[Mapping]:
+        for m in self._mappings:
+            if kind is None or m.kind == kind:
+                yield m
+
+    def is_mapped(self, address: int) -> bool:
+        return self.mapping_at(address) is not None
+
+    # -- byte access (the MemoryView protocol) --------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        mapping = self.mapping_at(address)
+        if mapping is None:
+            raise MemoryFault(address, "read of unmapped memory")
+        offset = address - mapping.base
+        if offset + size > mapping.size:
+            raise MemoryFault(address + size, "read crosses mapping end")
+        return bytes(mapping.data[offset : offset + size])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        mapping = self.mapping_at(address)
+        if mapping is None:
+            raise MemoryFault(address, "write to unmapped memory")
+        offset = address - mapping.base
+        if offset + len(data) > mapping.size:
+            raise MemoryFault(address + len(data), "write crosses mapping end")
+        mapping.data[offset : offset + len(data)] = data
+        self.soft_dirty_faults += mapping.tracker.note_write(address, len(data))
+
+    def read_word(self, address: int) -> int:
+        return _struct.unpack("<Q", self.read_bytes(address, 8))[0]
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write_bytes(address, _struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    # -- soft-dirty interface (CRIU-style) -------------------------------
+
+    def clear_soft_dirty(self) -> None:
+        """Mark every page in every mapping soft-clean."""
+        for m in self._mappings:
+            m.tracker.clear()
+
+    def range_dirty(self, address: int, size: int) -> bool:
+        """Does ``[address, address+size)`` overlap any soft-dirty page?"""
+        mapping = self.mapping_at(address)
+        if mapping is None:
+            raise MemoryFault(address, "dirty query on unmapped memory")
+        return mapping.tracker.range_dirty(address, size)
+
+    def dirty_page_count(self) -> int:
+        return sum(m.tracker.dirty_page_count() for m in self._mappings)
+
+    def total_pages(self) -> int:
+        return sum(m.tracker.num_pages for m in self._mappings)
+
+    # -- footprint / fork -------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        """Demand-paged footprint: pages ever written (the RSS analogue)."""
+        return sum(len(m.tracker.ever_written) * PAGE_SIZE for m in self._mappings)
+
+    def mapped_bytes(self) -> int:
+        """Total mapped virtual bytes (the VSZ analogue)."""
+        return sum(m.size for m in self._mappings)
+
+    def clone(self) -> "AddressSpace":
+        """fork(): duplicate all mappings (eager copy, COW-equivalent)."""
+        twin = AddressSpace()
+        twin._mmap_cursor = self._mmap_cursor
+        twin._lib_cursor = self._lib_cursor
+        twin._mappings = [m.clone() for m in self._mappings]
+        return twin

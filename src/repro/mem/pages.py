@@ -1,0 +1,100 @@
+"""Page-granular soft-dirty tracking.
+
+Models the Linux soft-dirty bit mechanism (``/proc/<pid>/clear_refs`` write
+of ``4`` + the soft-dirty bit in ``pagemap``) that MCR uses to find the data
+structures modified after startup:
+
+* ``clear()`` marks every page soft-clean and "write-protects" it.
+* The first write into a clean page takes a simulated minor fault (counted,
+  so the cost model can charge it), marks the page soft-dirty, and
+  "unprotects" it — subsequent writes are free, exactly like the kernel
+  mechanism.
+* ``dirty_pages()`` reports the pages written since the last ``clear()``.
+
+Before the first ``clear()`` every page is considered dirty (matching the
+kernel default where soft-dirty bits start set for new mappings).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+PAGE_SIZE = 4096
+
+
+def page_index(address: int) -> int:
+    return address // PAGE_SIZE
+
+
+def page_base(address: int) -> int:
+    return (address // PAGE_SIZE) * PAGE_SIZE
+
+
+class PageTracker:
+    """Soft-dirty bookkeeping for one contiguous mapping."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if base % PAGE_SIZE:
+            raise ValueError(f"mapping base not page-aligned: 0x{base:x}")
+        self.base = base
+        self.size = size
+        self.num_pages = (size + PAGE_SIZE - 1) // PAGE_SIZE
+        self._cleared_once = False
+        self._dirty: Set[int] = set()
+        # Pages ever written (never reset): the demand-paging resident set.
+        self.ever_written: Set[int] = set()
+        self.fault_count = 0  # simulated write-protect faults taken
+
+    def clear(self) -> None:
+        """Mark all pages soft-clean (CRIU-style ``clear_refs``)."""
+        self._cleared_once = True
+        self._dirty.clear()
+
+    def note_write(self, address: int, size: int) -> int:
+        """Record a write of ``size`` bytes at ``address``.
+
+        Returns the number of write-protect faults this write took (pages
+        that transitioned clean -> dirty), for cost accounting.
+        """
+        first_touch = (address - self.base) // PAGE_SIZE
+        last_touch = (address + max(size, 1) - 1 - self.base) // PAGE_SIZE
+        self.ever_written.update(range(first_touch, last_touch + 1))
+        if not self._cleared_once:
+            return 0
+        first = (address - self.base) // PAGE_SIZE
+        last = (address + max(size, 1) - 1 - self.base) // PAGE_SIZE
+        faults = 0
+        for page in range(first, last + 1):
+            if page not in self._dirty:
+                self._dirty.add(page)
+                faults += 1
+        self.fault_count += faults
+        return faults
+
+    def is_dirty(self, address: int) -> bool:
+        """Is the page containing ``address`` soft-dirty?"""
+        if not self._cleared_once:
+            return True
+        return (address - self.base) // PAGE_SIZE in self._dirty
+
+    def range_dirty(self, address: int, size: int) -> bool:
+        """Is any page overlapping ``[address, address+size)`` dirty?"""
+        if not self._cleared_once:
+            return True
+        first = (address - self.base) // PAGE_SIZE
+        last = (address + max(size, 1) - 1 - self.base) // PAGE_SIZE
+        return any(page in self._dirty for page in range(first, last + 1))
+
+    def dirty_pages(self) -> Iterator[int]:
+        """Yield base addresses of dirty pages (all pages if never cleared)."""
+        if not self._cleared_once:
+            for page in range(self.num_pages):
+                yield self.base + page * PAGE_SIZE
+            return
+        for page in sorted(self._dirty):
+            yield self.base + page * PAGE_SIZE
+
+    def dirty_page_count(self) -> int:
+        if not self._cleared_once:
+            return self.num_pages
+        return len(self._dirty)

@@ -1,0 +1,351 @@
+"""A ptmalloc-style heap allocator over simulated memory.
+
+Models the pieces of the glibc allocator that MCR's design depends on:
+
+* **In-band chunk metadata** — every chunk carries a 32-byte header written
+  into simulated memory (size, flags, allocation-site id, type-tag id).
+  MCR's allocator instrumentation "maintain[s] relocation and data type
+  tags in in-band allocator metadata" (paper §6); the authoritative tag map
+  is the per-process ``TagStore``, with the header mirroring the tag id.
+* **Startup flagging & deferred frees** — *global separability* for
+  immutable dynamic memory objects: chunks allocated during startup are
+  flagged in metadata, and frees issued during startup are deferred until
+  ``end_startup()`` so no startup-time address is ever reused (paper §5).
+* **``malloc_at``** — *global reallocation*: during mutable
+  reinitialization the new version must reallocate immutable heap objects
+  at exactly their old-version addresses, which requires "dedicated
+  allocator support to enforce a given memory layout in a fresh heap
+  state" (paper §5).  ``malloc_at`` carves a chunk at a caller-chosen
+  address out of free space.
+
+Allocation policy is deterministic first-fit over a sorted free-interval
+list with coalescing on free — deliberately simpler than glibc's bins, but
+with identical observable properties for MCR (address stability, reuse
+behaviour, in-band metadata placement).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import AllocatorError, MemoryFault
+from repro.mem.address_space import AddressSpace, HEAP_BASE, Mapping
+
+HEADER_SIZE = 32
+MIN_ALIGN = 16
+
+FLAG_IN_USE = 0x1
+FLAG_STARTUP = 0x2
+FLAG_INSTRUMENTED = 0x4
+
+
+def _align_up(value: int, alignment: int = MIN_ALIGN) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+class Chunk:
+    """A live heap chunk (header + user area)."""
+
+    __slots__ = ("base", "user_base", "user_size", "total_size", "startup", "site_id")
+
+    def __init__(self, base: int, user_size: int, total_size: int) -> None:
+        self.base = base
+        self.user_base = base + HEADER_SIZE
+        self.user_size = user_size
+        self.total_size = total_size
+        self.startup = False
+        self.site_id = 0
+
+    @property
+    def user_end(self) -> int:
+        return self.user_base + self.user_size
+
+    def contains(self, address: int) -> bool:
+        return self.user_base <= address < self.user_end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Chunk user=0x{self.user_base:x} size={self.user_size}>"
+
+
+class _FreeList:
+    """Sorted, coalescing list of free [start, end) intervals."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+
+    def add(self, start: int, end: int) -> None:
+        index = bisect.bisect_left(self._starts, start)
+        # Coalesce with predecessor.
+        if index > 0 and self._ends[index - 1] == start:
+            start = self._starts[index - 1]
+            del self._starts[index - 1]
+            del self._ends[index - 1]
+            index -= 1
+        # Coalesce with successor.
+        if index < len(self._starts) and self._starts[index] == end:
+            end = self._ends[index]
+            del self._starts[index]
+            del self._ends[index]
+        self._starts.insert(index, start)
+        self._ends.insert(index, end)
+
+    def take_first_fit(self, size: int) -> Optional[int]:
+        """Remove and return the start of the first interval >= size."""
+        for i, (start, end) in enumerate(zip(self._starts, self._ends)):
+            if end - start >= size:
+                new_start = start + size
+                if new_start == end:
+                    del self._starts[i]
+                    del self._ends[i]
+                else:
+                    self._starts[i] = new_start
+                return start
+        return None
+
+    def take_at(self, start: int, size: int) -> bool:
+        """Carve exactly [start, start+size) out of a free interval."""
+        end = start + size
+        index = bisect.bisect_right(self._starts, start) - 1
+        if index < 0:
+            return False
+        istart, iend = self._starts[index], self._ends[index]
+        if start < istart or end > iend:
+            return False
+        del self._starts[index]
+        del self._ends[index]
+        if istart < start:
+            self.add(istart, start)
+        if end < iend:
+            self.add(end, iend)
+        return True
+
+    def intervals(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(list(self._starts), list(self._ends)))
+
+    def total_free(self) -> int:
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+
+class PtMallocHeap:
+    """The process heap: deterministic first-fit with in-band metadata."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        base: int = HEAP_BASE,
+        size: int = 4 * 1024 * 1024,
+        name: str = "heap",
+    ) -> None:
+        self._space = space
+        self._mapping: Mapping = space.map(size, address=base, name=name, kind="heap")
+        self._free = _FreeList()
+        self._free.add(self._mapping.base, self._mapping.end)
+        self._chunks: Dict[int, Chunk] = {}  # keyed by user_base
+        self._sorted_user_bases: List[int] = []
+        self._reserved: Dict[int, int] = {}  # superobject spans: base -> size
+        self.startup_mode = True
+        self._deferred_frees: List[int] = []
+        # Counters feeding the cost model and the memory-usage benchmark.
+        self.malloc_count = 0
+        self.free_count = 0
+        self.bytes_allocated = 0
+
+    # -- core API ---------------------------------------------------------
+
+    @property
+    def space(self) -> AddressSpace:
+        return self._space
+
+    @property
+    def base(self) -> int:
+        return self._mapping.base
+
+    @property
+    def end(self) -> int:
+        return self._mapping.end
+
+    def malloc(self, size: int, site_id: int = 0) -> int:
+        """Allocate ``size`` user bytes; returns the user address."""
+        if size <= 0:
+            raise AllocatorError(f"malloc of non-positive size {size}")
+        total = _align_up(HEADER_SIZE + size)
+        base = self._free.take_first_fit(total)
+        if base is None:
+            raise AllocatorError(
+                f"out of simulated heap ({self._free.total_free()} free, asked {total})"
+            )
+        return self._install_chunk(base, size, total, site_id)
+
+    def malloc_at(self, user_address: int, size: int, site_id: int = 0) -> int:
+        """Allocate ``size`` bytes with the user area at ``user_address``.
+
+        Global-reallocation support: fails with ``AllocatorError`` if the
+        required span is not entirely free.
+        """
+        base = user_address - HEADER_SIZE
+        total = _align_up(HEADER_SIZE + size)
+        if base < self._mapping.base or base + total > self._mapping.end:
+            raise AllocatorError(
+                f"malloc_at target 0x{user_address:x} outside heap"
+            )
+        if not self._free.take_at(base, total):
+            raise AllocatorError(
+                f"malloc_at target 0x{user_address:x} not free"
+            )
+        return self._install_chunk(base, size, total, site_id)
+
+    def reserve_range(self, address: int, size: int) -> None:
+        """Carve a raw address range out of free space (no chunk header).
+
+        Global reallocation uses this to pre-place *superobjects*: coalesced
+        spans of immutable old-version heap objects that must reappear at
+        identical addresses in the new version (paper §5).  The span is
+        excluded from normal allocation until ``release_reserved``.
+        """
+        if not self._free.take_at(address, size):
+            raise AllocatorError(
+                f"cannot reserve [0x{address:x}, 0x{address + size:x}): not free"
+            )
+        self._reserved[address] = size
+
+    def release_reserved(self, address: int) -> None:
+        """Return a reserved superobject span to the free list."""
+        size = self._reserved.pop(address, None)
+        if size is None:
+            raise AllocatorError(f"no reserved range at 0x{address:x}")
+        self._free.add(address, address + size)
+
+    def reserved_ranges(self) -> Dict[int, int]:
+        return dict(self._reserved)
+
+    def reserved_containing(self, address: int) -> Optional[Tuple[int, int]]:
+        for base, size in self._reserved.items():
+            if base <= address < base + size:
+                return base, size
+        return None
+
+    def free(self, user_address: int) -> None:
+        chunk = self._chunks.get(user_address)
+        if chunk is None:
+            raise AllocatorError(f"free of non-allocated address 0x{user_address:x}")
+        if self.startup_mode:
+            # Global separability: no startup-time address reuse.  The
+            # chunk stays resident until end_startup() releases it.
+            self._deferred_frees.append(user_address)
+            return
+        self._release(chunk)
+
+    def realloc(self, user_address: int, new_size: int, site_id: int = 0) -> int:
+        chunk = self._chunks.get(user_address)
+        if chunk is None:
+            raise AllocatorError(f"realloc of non-allocated address 0x{user_address:x}")
+        new_addr = self.malloc(new_size, site_id=site_id)
+        keep = min(chunk.user_size, new_size)
+        self._space.write_bytes(new_addr, self._space.read_bytes(user_address, keep))
+        self.free(user_address)
+        return new_addr
+
+    # -- startup-phase control ---------------------------------------------
+
+    def end_startup(self) -> None:
+        """Leave startup mode: process deferred frees, stop flagging chunks."""
+        self.startup_mode = False
+        deferred, self._deferred_frees = self._deferred_frees, []
+        for user_address in deferred:
+            chunk = self._chunks.get(user_address)
+            if chunk is not None:
+                self._release(chunk)
+
+    # -- introspection (used by tracing) ------------------------------------
+
+    def find_chunk(self, address: int) -> Optional[Chunk]:
+        """The live chunk whose *user area* contains ``address``, if any."""
+        index = bisect.bisect_right(self._sorted_user_bases, address) - 1
+        if index < 0:
+            return None
+        chunk = self._chunks.get(self._sorted_user_bases[index])
+        if chunk is not None and chunk.contains(address):
+            return chunk
+        return None
+
+    def chunks(self) -> Iterator[Chunk]:
+        for user_base in list(self._sorted_user_bases):
+            chunk = self._chunks.get(user_base)
+            if chunk is not None:
+                yield chunk
+
+    def live_chunk_count(self) -> int:
+        return len(self._chunks)
+
+    def live_bytes(self) -> int:
+        return sum(c.user_size for c in self._chunks.values())
+
+    # -- internals ----------------------------------------------------------
+
+    def _install_chunk(self, base: int, size: int, total: int, site_id: int) -> int:
+        chunk = Chunk(base, size, total)
+        chunk.startup = self.startup_mode
+        chunk.site_id = site_id
+        self._chunks[chunk.user_base] = chunk
+        bisect.insort(self._sorted_user_bases, chunk.user_base)
+        self._write_header(chunk)
+        self.malloc_count += 1
+        self.bytes_allocated += size
+        return chunk.user_base
+
+    def _release(self, chunk: Chunk) -> None:
+        del self._chunks[chunk.user_base]
+        index = bisect.bisect_left(self._sorted_user_bases, chunk.user_base)
+        del self._sorted_user_bases[index]
+        # Scrub the user area so stale pointer words cannot mislead the
+        # conservative scanner (glibc similarly clobbers freed chunks with
+        # list links; scrubbing is the conservative-GC-friendly variant).
+        self._space.write_bytes(chunk.base, b"\x00" * chunk.total_size)
+        self._free.add(chunk.base, chunk.base + chunk.total_size)
+        self.free_count += 1
+
+    def _write_header(self, chunk: Chunk) -> None:
+        flags = FLAG_IN_USE | (FLAG_STARTUP if chunk.startup else 0)
+        header = (
+            chunk.total_size.to_bytes(8, "little")
+            + flags.to_bytes(8, "little")
+            + chunk.site_id.to_bytes(8, "little")
+            + (0).to_bytes(8, "little")  # tag id mirror, set by TagStore
+        )
+        self._space.write_bytes(chunk.base, header)
+
+    def set_header_tag(self, chunk: Chunk, tag_id: int) -> None:
+        """Mirror the TagStore tag id into in-band metadata."""
+        self._space.write_bytes(chunk.base + 24, tag_id.to_bytes(8, "little"))
+
+    def clone_into(self, space: AddressSpace) -> "PtMallocHeap":
+        """Rebind this heap's bookkeeping onto a forked address space.
+
+        The mapping bytes were already cloned by ``AddressSpace.clone``;
+        this copies the allocator's logical state (chunks, free list,
+        counters) so the child process can keep allocating independently.
+        """
+        twin = PtMallocHeap.__new__(PtMallocHeap)
+        twin._space = space
+        twin._mapping = space.mapping_at(self._mapping.base)
+        if twin._mapping is None:
+            raise MemoryFault(self._mapping.base, "heap mapping missing in clone")
+        twin._free = _FreeList()
+        for start, end in self._free.intervals():
+            twin._free.add(start, end)
+        twin._chunks = {}
+        for user_base, chunk in self._chunks.items():
+            copy = Chunk(chunk.base, chunk.user_size, chunk.total_size)
+            copy.startup = chunk.startup
+            copy.site_id = chunk.site_id
+            twin._chunks[user_base] = copy
+        twin._sorted_user_bases = list(self._sorted_user_bases)
+        twin._reserved = dict(self._reserved)
+        twin.startup_mode = self.startup_mode
+        twin._deferred_frees = list(self._deferred_frees)
+        twin.malloc_count = self.malloc_count
+        twin.free_count = self.free_count
+        twin.bytes_allocated = self.bytes_allocated
+        return twin

@@ -1,0 +1,164 @@
+"""Relocation and data-type tags.
+
+The tag store is MCR's "precise" half: static instrumentation registers a
+tag for every static object, and the allocator wrappers register a tag for
+every *instrumented* dynamic allocation (malloc — or region allocations in
+the ``nginx_reg`` configuration).  An object with a tag can be precisely
+traced and type-transformed; an object without one is opaque and falls to
+the conservative scanner.
+
+Tags are the paper's chosen precise-tracing representation ("in-memory data
+type tags associated to the individual state objects", §6), preferred over
+compiler-generated traversal functions because MCR must "seamlessly switch
+from precise to conservative tracing as needed at runtime".  The paper also
+notes the tags are deliberately space-inefficient; the memory-usage
+benchmark charges their footprint through ``overhead_bytes``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional
+
+from repro.types.descriptors import TypeDesc
+
+# Per-tag logical footprint, matching the paper's remark that tags are
+# space-hungry: address + type id + site + origin + relocation info.
+TAG_OVERHEAD_BYTES = 64
+
+ORIGIN_STATIC = "static"
+ORIGIN_HEAP = "heap"
+ORIGIN_REGION = "region"
+ORIGIN_STACK = "stack"
+ORIGIN_LIB = "lib"
+
+
+class DataTag:
+    """Type + relocation metadata for one state object."""
+
+    __slots__ = ("address", "type", "origin", "site", "tag_id", "name")
+
+    def __init__(
+        self,
+        address: int,
+        type_: TypeDesc,
+        origin: str,
+        site: str = "",
+        tag_id: int = 0,
+        name: str = "",
+    ) -> None:
+        self.address = address
+        self.type = type_
+        self.origin = origin
+        self.site = site  # allocation site / symbol name, for cross-version pairing
+        self.tag_id = tag_id
+        self.name = name
+
+    @property
+    def end(self) -> int:
+        return self.address + self.type.size
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DataTag 0x{self.address:x} {self.type.name} {self.origin}/{self.site}>"
+
+
+class TagStore:
+    """All tags of one process, with containing-address lookup."""
+
+    def __init__(self) -> None:
+        self._by_address: Dict[int, DataTag] = {}
+        self._sorted_addresses: List[int] = []
+        self._next_tag_id = 1
+        self.register_count = 0  # instrumentation work done (cost model)
+
+    def register(
+        self,
+        address: int,
+        type_: TypeDesc,
+        origin: str,
+        site: str = "",
+        name: str = "",
+    ) -> DataTag:
+        if address in self._by_address:
+            # Re-registration replaces (e.g. realloc'd slot reused).
+            self.unregister(address)
+        tag = DataTag(address, type_, origin, site, self._next_tag_id, name)
+        self._next_tag_id += 1
+        self._by_address[address] = tag
+        bisect.insort(self._sorted_addresses, address)
+        self.register_count += 1
+        return tag
+
+    def tags_in_range(self, start: int, end: int) -> List[DataTag]:
+        """Tags whose object starts in [start, end), ascending by address."""
+        import bisect as _bisect
+
+        lo = _bisect.bisect_left(self._sorted_addresses, start)
+        hi = _bisect.bisect_left(self._sorted_addresses, end)
+        return [self._by_address[a] for a in self._sorted_addresses[lo:hi]]
+
+    def unregister_range(self, start: int, end: int) -> int:
+        """Drop every tag whose object starts in [start, end).
+
+        Used when a custom-allocator region is destroyed wholesale: the
+        instrumented wrapper registered per-allocation tags that must die
+        with the backing block.
+        """
+        import bisect as _bisect
+
+        lo = _bisect.bisect_left(self._sorted_addresses, start)
+        hi = _bisect.bisect_left(self._sorted_addresses, end)
+        doomed = self._sorted_addresses[lo:hi]
+        for address in doomed:
+            del self._by_address[address]
+        del self._sorted_addresses[lo:hi]
+        return len(doomed)
+
+    def unregister(self, address: int) -> Optional[DataTag]:
+        tag = self._by_address.pop(address, None)
+        if tag is not None:
+            index = bisect.bisect_left(self._sorted_addresses, address)
+            del self._sorted_addresses[index]
+        return tag
+
+    def lookup(self, address: int) -> Optional[DataTag]:
+        """Tag whose object starts exactly at ``address``."""
+        return self._by_address.get(address)
+
+    def find_containing(self, address: int) -> Optional[DataTag]:
+        """Tag whose object's storage contains ``address``."""
+        index = bisect.bisect_right(self._sorted_addresses, address) - 1
+        if index < 0:
+            return None
+        tag = self._by_address[self._sorted_addresses[index]]
+        if tag.contains(address):
+            return tag
+        return None
+
+    def tags(self, origin: Optional[str] = None) -> Iterator[DataTag]:
+        for address in list(self._sorted_addresses):
+            tag = self._by_address.get(address)
+            if tag is not None and (origin is None or tag.origin == origin):
+                yield tag
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+    def overhead_bytes(self) -> int:
+        """Logical metadata footprint (memory-usage benchmark input)."""
+        return len(self._by_address) * TAG_OVERHEAD_BYTES
+
+    def clone(self) -> "TagStore":
+        """fork(): tags are per-process state and follow the address space."""
+        twin = TagStore()
+        twin._next_tag_id = self._next_tag_id
+        twin.register_count = self.register_count
+        for address, tag in self._by_address.items():
+            twin._by_address[address] = DataTag(
+                tag.address, tag.type, tag.origin, tag.site, tag.tag_id, tag.name
+            )
+        twin._sorted_addresses = list(self._sorted_addresses)
+        return twin

@@ -1,0 +1,25 @@
+"""Simulated server programs (the paper's evaluation subjects).
+
+Each module exports ``make_program(version)`` returning a ``Program`` for
+that release, mirroring the structural properties the paper calls out:
+
+* ``simple``   — the Listing-1 event-driven example server.
+* ``httpd``    — Apache httpd: master + workers, worker threads, nested
+  pools, "detects own running instance" behaviour.
+* ``nginx``    — purely event-driven, slab + region allocators, low-bit
+  pointer encoding.
+* ``vsftpd``   — per-connection session processes (FTP).
+* ``opensshd`` — per-connection session processes + exec'd helper (SSH).
+
+``updates`` defines each program's update series (the Table-1 inputs).
+"""
+
+import importlib
+
+__all__ = ["httpd", "memcache", "nginx", "opensshd", "simple", "vsftpd"]
+
+
+def __getattr__(name):
+    if name in __all__:
+        return importlib.import_module(f"repro.servers.{name}")
+    raise AttributeError(f"module 'repro.servers' has no attribute {name!r}")

@@ -1,0 +1,55 @@
+"""Shared scaffolding for the simulated servers."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimError
+from repro.kernel.process import sim_function
+
+# Ports, one per server, stable across versions.
+PORT_SIMPLE = 8080
+PORT_HTTPD = 80
+PORT_NGINX = 8081
+PORT_VSFTPD = 21
+PORT_SSHD = 22
+
+
+@sim_function
+def connect_with_retry(sys, port: int, attempts: int = 50, backoff_ns: int = 1_000_000):
+    """Client-side connect that retries while the server is still binding."""
+    last_error: Optional[SimError] = None
+    for _ in range(attempts):
+        try:
+            fd = yield from sys.connect(port)
+            return fd
+        except SimError as error:
+            last_error = error
+            yield from sys.nanosleep(backoff_ns)
+    raise last_error if last_error is not None else SimError("connect failed")
+
+
+@sim_function
+def send_line(sys, fd: int, text: str):
+    yield from sys.send(fd, text.encode() + b"\n")
+    return None
+
+
+@sim_function
+def recv_line(sys, fd: int, timeout_ns: Optional[int] = None):
+    """Receive until a newline (requests are tiny; one recv usually does)."""
+    buffered = bytearray()
+    while True:
+        data = yield from sys.recv(fd, timeout_ns=timeout_ns)
+        if data is None or data == b"" or not isinstance(data, (bytes, bytearray)):
+            return bytes(buffered) if buffered else b""
+        buffered.extend(data)
+        if b"\n" in buffered:
+            line, _, rest = bytes(buffered).partition(b"\n")
+            # Tiny protocol: at most one request in flight per client, so
+            # ``rest`` is empty by construction.
+            return line
+
+
+def parse_command(line: bytes) -> List[str]:
+    return line.decode(errors="replace").strip().split()

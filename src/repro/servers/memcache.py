@@ -1,0 +1,218 @@
+"""A memcached-style in-memory cache: the semantic-update showcase.
+
+Beyond the four paper subjects, this server exercises the state shape MCR
+is hardest on: a hash table whose buckets are an array of pointers into
+heap-allocated entry chains — deep, cyclic-free pointer graphs that must
+be relocated and type-transformed wholesale.
+
+Its update line contains the paper's "complex semantic state
+transformation" case (§3/§8): **v3 adds a per-entry integrity checksum**
+that v3 code *verifies on every read*.  Mutable tracing alone would
+default the new field to zero and every cached entry would verify as
+corrupt; the shipped ``MCR_ADD_OBJ_HANDLER`` on the entry *type* derives
+the checksum during transfer — the 793-LOC-bucket kind of user code.
+
+Protocol: ``SET <k> <v>``, ``GET <k>``, ``DEL <k>``, ``NSTATS``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SimError
+from repro.kernel.process import sim_function
+from repro.runtime.program import GlobalVar, Program
+from repro.servers.common import parse_command
+from repro.types.descriptors import (
+    ArrayType,
+    CHAR,
+    INT32,
+    INT64,
+    PointerType,
+    StructType,
+)
+
+PORT_MEMCACHE = 11211
+BUCKETS = 8
+KEY_SIZE = 16
+VALUE_SIZE = 32
+
+
+def key_hash(key: str) -> int:
+    return sum(key.encode()) % BUCKETS
+
+
+def entry_checksum(key: str, value: str) -> int:
+    return (sum(key.encode()) * 31 + sum(value.encode())) & 0x7FFFFFFF
+
+
+def make_types(version: int) -> Dict[str, object]:
+    entry_fields = [
+        ("key", ArrayType(CHAR, KEY_SIZE)),
+        ("value", ArrayType(CHAR, VALUE_SIZE)),
+    ]
+    if version >= 3:
+        entry_fields.append(("checksum", INT32))
+    entry_fields.append(("next", PointerType(None, name="mc_entry*")))
+    mc_entry_t = StructType("mc_entry_t", entry_fields)
+    return {"mc_entry_t": mc_entry_t}
+
+
+def make_globals(types: Dict[str, object]) -> list:
+    entry_ptr = PointerType(types["mc_entry_t"], name="mc_entry_t*")
+    return [
+        GlobalVar("mc_buckets", ArrayType(entry_ptr, BUCKETS)),
+        GlobalVar("mc_count", INT64),
+        GlobalVar("mc_hits", INT64),
+        GlobalVar("mc_misses", INT64),
+    ]
+
+
+def _make_main(version: int, types: Dict[str, object]):
+    mc_entry_t = types["mc_entry_t"]
+
+    @sim_function
+    def mc_find(sys, key):
+        crt = sys.process.crt
+        bucket_addr = crt.global_addr("mc_buckets") + key_hash(key) * 8
+        node = sys.process.space.read_word(bucket_addr)
+        prev = 0
+        while node:
+            if crt.read_cstr(crt.field_addr(node, mc_entry_t, "key")) == key:
+                return node, prev, bucket_addr
+            prev = node
+            node = crt.get(node, mc_entry_t, "next")
+        return 0, prev, bucket_addr
+        yield  # pragma: no cover - generator marker
+
+    @sim_function
+    def mc_handle(sys, conn_fd, line):
+        crt = sys.process.crt
+        space = sys.process.space
+        words = parse_command(line)
+        if not words:
+            yield from sys.send(conn_fd, b"ERROR empty\n")
+            return True
+        command = words[0].upper()
+        if command == "SET" and len(words) >= 3:
+            key, value = words[1][: KEY_SIZE - 1], words[2][: VALUE_SIZE - 1]
+            node, _prev, bucket_addr = yield from mc_find(sys, key)
+            if node == 0:
+                node = crt.malloc_typed(sys.thread, mc_entry_t)
+                crt.write_cstr(crt.field_addr(node, mc_entry_t, "key"), key)
+                crt.set(node, mc_entry_t, "next", space.read_word(bucket_addr))
+                space.write_word(bucket_addr, node)
+                crt.gset("mc_count", crt.gget("mc_count") + 1)
+            crt.write_cstr(crt.field_addr(node, mc_entry_t, "value"), value)
+            if version >= 3:
+                crt.set(node, mc_entry_t, "checksum", entry_checksum(key, value))
+            yield from sys.send(conn_fd, b"STORED\n")
+            return True
+        if command == "GET" and len(words) >= 2:
+            key = words[1][: KEY_SIZE - 1]
+            node, _prev, _bucket = yield from mc_find(sys, key)
+            if node == 0:
+                crt.gset("mc_misses", crt.gget("mc_misses") + 1)
+                yield from sys.send(conn_fd, b"MISS\n")
+                return True
+            value = crt.read_cstr(crt.field_addr(node, mc_entry_t, "value"))
+            if version >= 3:
+                stored = crt.get(node, mc_entry_t, "checksum")
+                if stored != entry_checksum(key, value):
+                    yield from sys.send(conn_fd, b"CORRUPT\n")
+                    return True
+            crt.gset("mc_hits", crt.gget("mc_hits") + 1)
+            yield from sys.send(conn_fd, f"VALUE {value}\n".encode())
+            return True
+        if command == "DEL" and len(words) >= 2:
+            key = words[1][: KEY_SIZE - 1]
+            node, prev, bucket_addr = yield from mc_find(sys, key)
+            if node == 0:
+                yield from sys.send(conn_fd, b"NOT_FOUND\n")
+                return True
+            following = crt.get(node, mc_entry_t, "next")
+            if prev:
+                crt.set(prev, mc_entry_t, "next", following)
+            else:
+                space.write_word(bucket_addr, following)
+            crt.free(node)
+            crt.gset("mc_count", crt.gget("mc_count") - 1)
+            yield from sys.send(conn_fd, b"DELETED\n")
+            return True
+        if command == "NSTATS":
+            yield from sys.send(
+                conn_fd,
+                f"STATS items={crt.gget('mc_count')} hits={crt.gget('mc_hits')} "
+                f"misses={crt.gget('mc_misses')} v{version}\n".encode(),
+            )
+            return True
+        yield from sys.send(conn_fd, b"ERROR unknown\n")
+        return True
+
+    @sim_function
+    def mc_event_loop(sys, listen_fd, epfd):
+        while True:
+            sys.loop_iter("main")
+            ready = yield from sys.epoll_wait(epfd)
+            if not isinstance(ready, list):
+                continue
+            for fd in ready:
+                if fd == listen_fd:
+                    conn = yield from sys.accept(listen_fd)
+                    yield from sys.epoll_ctl(epfd, "add", conn)
+                    continue
+                data = yield from sys.recv(fd)
+                if not data:
+                    yield from sys.epoll_ctl(epfd, "del", fd)
+                    yield from sys.close(fd)
+                    continue
+                try:
+                    yield from mc_handle(sys, fd, data)
+                except SimError:
+                    yield from sys.epoll_ctl(epfd, "del", fd)
+
+    @sim_function
+    def memcache_main(sys):
+        listen_fd = yield from sys.socket()
+        yield from sys.bind(listen_fd, PORT_MEMCACHE)
+        yield from sys.listen(listen_fd, 256)
+        epfd = yield from sys.epoll_create()
+        yield from sys.epoll_ctl(epfd, "add", listen_fd)
+        yield from mc_event_loop(sys, listen_fd, epfd)
+
+    return memcache_main
+
+
+def checksum_handler(context) -> None:
+    """Derive the v3 integrity checksum during transfer (semantic ST).
+
+    Registered on the *type* ``mc_entry_t``: runs for every transferred
+    entry, reading the transformed key/value and computing what v3 code
+    will verify.
+    """
+    key = bytes(context.transformed["key"]).split(b"\x00")[0].decode()
+    value = bytes(context.transformed["value"]).split(b"\x00")[0].decode()
+    context.transformed["checksum"] = entry_checksum(key, value)
+
+
+def make_program(version: int = 1, with_st_handler: bool = True) -> Program:
+    types = make_types(version)
+    program = Program(
+        name="memcache",
+        version=str(version),
+        globals_=make_globals(types),
+        main=_make_main(version, types),
+        types=types,
+        quiescent_points={("mc_event_loop", "epoll_wait")},
+        metadata={"port": PORT_MEMCACHE},
+        functions=["memcache_main", "mc_event_loop", "mc_handle", "mc_find"],
+    )
+    if version >= 3 and with_st_handler:
+        # The paper's "complex semantic state transformations ... could
+        # not be automatically remapped by MCR" bucket: 31 LOC here.
+        program.annotations.MCR_ADD_OBJ_HANDLER("mc_entry_t", checksum_handler, loc=31)
+    return program
+
+
+def setup_world(kernel) -> None:
+    return None  # no config files needed

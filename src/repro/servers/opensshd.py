@@ -1,0 +1,299 @@
+"""Simulated OpenSSH daemon: per-connection sessions + exec'd helpers.
+
+Captures the sshd properties from the paper:
+
+* master ``accept`` loop (the single persistent quiescent point) and
+  per-connection session processes (volatile quiescent points, restored
+  by a ``post_startup`` handler — 49 LOC in the paper);
+* a short-lived thread class from ``exec()``-ing helper programs (the
+  paper observed these during quiescence profiling);
+* **shared-library state**: a ``libcrypto`` image whose RNG state is
+  allocated inside the library mapping and referenced from a program
+  global — the uninstrumented-library pointers of Table 2's "Lib"
+  columns;
+* fully instrumented allocation otherwise, with a couple of deliberate
+  type-unsafe idioms (a union-typed auth blob) producing the residual
+  likely pointers the paper reports even for well-behaved programs.
+
+Protocol: ``AUTH <user> <pass>``, ``EXEC <cmd>``, ``STAT``, ``QUIT``.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict
+
+from repro.errors import SimError
+from repro.kernel.process import sim_function
+from repro.runtime.program import GlobalVar, Program
+from repro.servers.common import PORT_SSHD, parse_command
+from repro.types.descriptors import (
+    ArrayType,
+    CHAR,
+    INT32,
+    INT64,
+    PointerType,
+    StructType,
+    UnionType,
+)
+
+
+def make_types(version: int) -> Dict[str, object]:
+    session_fields = [
+        ("control_fd", INT32),
+        ("authenticated", INT32),
+        ("username", ArrayType(CHAR, 16)),
+        ("exec_count", INT64),
+    ]
+    if version >= 3:
+        session_fields.append(("auth_attempts", INT32))
+    if version >= 5:
+        session_fields.append(("last_command", ArrayType(CHAR, 32)))
+    ssh_session_t = StructType("ssh_session_t", session_fields)
+    # The type-unsafe idiom: a union that may hold a pointer or a key id.
+    ssh_auth_blob_t = UnionType(
+        "ssh_auth_blob_t",
+        [("key_id", INT64), ("key_ptr", PointerType(None, name="void*"))],
+    )
+    ssh_conf_entry_t = StructType(
+        "ssh_conf_entry_t",
+        [("next", PointerType(None)), ("text", ArrayType(CHAR, 500))],
+    )
+    return {
+        "ssh_session_t": ssh_session_t,
+        "ssh_auth_blob_t": ssh_auth_blob_t,
+        "ssh_conf_entry_t": ssh_conf_entry_t,
+    }
+
+
+def make_globals(types: Dict[str, object]) -> list:
+    return [
+        GlobalVar("sshd_listen_fd", INT32, init=-1),
+        GlobalVar("sshd_session_count", INT64),
+        GlobalVar("sshd_session", PointerType(types["ssh_session_t"], name="ssh_session_t*")),
+        # Pointer into uninstrumented library state (libcrypto RNG).
+        GlobalVar("sshd_rng_state", PointerType(None, name="void*")),
+        GlobalVar("sshd_hostkey_digest", ArrayType(CHAR, 20)),
+        GlobalVar("sshd_auth_blob", types["ssh_auth_blob_t"]),
+        # Unannotated idioms: raw char buffers caching pointers (into the
+        # library's RNG state and a heap key blob) -> residual likely
+        # pointers, including the paper's program-pointers-into-lib-state.
+        GlobalVar("sshd_rng_cache", ArrayType(CHAR, 8)),
+        GlobalVar("sshd_kex_cache", ArrayType(CHAR, 16)),
+        GlobalVar("sshd_version_banner", ArrayType(CHAR, 32), init=b"SSH-2.0-sshd-sim"),
+        GlobalVar("sshd_conf_chain", PointerType(None, name="void*")),
+        GlobalVar("sshd_channel_buf", PointerType(None, name="void*")),
+    ]
+
+
+def _make_main(version: int, types: Dict[str, object]):
+    ssh_session_t = types["ssh_session_t"]
+    ssh_auth_blob_t = types["ssh_auth_blob_t"]
+
+    @sim_function
+    def sshd_helper_image(sys, result_fd, command):
+        """The exec'd helper program (uninstrumented, short-lived)."""
+        output = f"helper-output:{command}".encode()
+        yield from sys.sendmsg(result_fd, output)
+        yield from sys.exit(0)
+
+    @sim_function
+    def sshd_exec_child(sys, result_fd, command):
+        yield from sys.exec("ssh-helper", sshd_helper_image, args=(result_fd, command))
+
+    @sim_function
+    def ssh_handle_command(sys, control_fd, line):
+        crt = sys.process.crt
+        session = crt.gget("sshd_session")
+        words = parse_command(line)
+        if not words:
+            yield from sys.send(control_fd, b"err empty\n")
+            return True
+        command = words[0].upper()
+        if command == "AUTH":
+            user = words[1] if len(words) > 1 else ""
+            password = words[2] if len(words) > 2 else ""
+            if version >= 3:
+                crt.set(session, ssh_session_t, "auth_attempts",
+                        crt.get(session, ssh_session_t, "auth_attempts") + 1)
+            if password != "wrong":
+                crt.set(session, ssh_session_t, "authenticated", 1)
+                crt.write_cstr(
+                    crt.field_addr(session, ssh_session_t, "username"), user[:15]
+                )
+                # Stash an opaque auth blob: a pointer hidden in a union.
+                crt.gset("sshd_auth_blob", _struct.pack("<Q", session))
+                key_blob = crt.strdup(sys.thread, f"kex-{user}")
+                crt.gset("sshd_kex_cache", _struct.pack("<Q", key_blob))
+                yield from sys.send(control_fd, b"auth-ok\n")
+            else:
+                yield from sys.send(control_fd, b"auth-failed\n")
+            return True
+        if command == "EXEC":
+            if not crt.get(session, ssh_session_t, "authenticated"):
+                yield from sys.send(control_fd, b"err not authenticated\n")
+                return True
+            shell_command = " ".join(words[1:]) or "true"
+            rx, tx = yield from sys.socketpair()
+            yield from sys.fork(sshd_exec_child, args=(tx, shell_command), name="sshd-exec")
+            data, _fds = yield from sys.recvmsg(rx)
+            yield from sys.close(rx)
+            yield from sys.close(tx)
+            yield from sys.wait_child()
+            crt.set(session, ssh_session_t, "exec_count",
+                    crt.get(session, ssh_session_t, "exec_count") + 1)
+            if version >= 5:
+                crt.write_cstr(
+                    crt.field_addr(session, ssh_session_t, "last_command"),
+                    shell_command[:31],
+                )
+            yield from sys.send(control_fd, data + b"\n")
+            return True
+        if command == "STAT":
+            name = crt.read_cstr(crt.field_addr(session, ssh_session_t, "username"))
+            execs = crt.get(session, ssh_session_t, "exec_count")
+            yield from sys.send(
+                control_fd, f"stat user={name} execs={execs} v{version}\n".encode()
+            )
+            return True
+        if command == "QUIT":
+            yield from sys.send(control_fd, b"bye\n")
+            return False
+        yield from sys.send(control_fd, b"err unknown\n")
+        return True
+
+    @sim_function
+    def ssh_session_loop(sys, control_fd):
+        while True:
+            sys.loop_iter("session")
+            line = yield from sys.recv(control_fd)
+            if not line:
+                break
+            try:
+                keep = yield from ssh_handle_command(sys, control_fd, line)
+            except SimError:
+                keep = False  # peer vanished mid-command (EPIPE)
+            if not keep:
+                break
+        yield from sys.close(control_fd)
+        yield from sys.exit(0)
+
+    @sim_function
+    def ssh_session_main(sys, control_fd):
+        crt = sys.process.crt
+        session = crt.malloc_typed(sys.thread, ssh_session_t)
+        crt.set(session, ssh_session_t, "control_fd", control_fd)
+        crt.gset("sshd_session", session)
+        channel_buf = crt.malloc(4 * 1024, sys.thread)
+        sys.process.space.write_bytes(channel_buf, b"\x43" * 1024)
+        crt.gset("sshd_channel_buf", channel_buf)
+        banner = crt.read_cstr(crt.global_addr("sshd_version_banner"))
+        yield from sys.send(control_fd, (banner + "\n").encode())
+        yield from ssh_session_loop(sys, control_fd)
+
+    @sim_function
+    def ssh_session_restore(sys, control_fd):
+        """Post-update restore entry: straight into the quiescent loop."""
+        yield from ssh_session_loop(sys, control_fd)
+
+    @sim_function
+    def sshd_master_loop(sys, listen_fd):
+        crt = sys.process.crt
+        while True:
+            sys.loop_iter("master")
+            conn = yield from sys.accept(listen_fd)
+            yield from sys.fork(ssh_session_main, args=(conn,), name="sshd-session")
+            crt.gset("sshd_session_count", crt.gget("sshd_session_count") + 1)
+            yield from sys.close(conn)
+
+    @sim_function
+    def sshd_init(sys):
+        crt = sys.process.crt
+        key_fd = yield from sys.open("/etc/ssh/host_key")
+        key = yield from sys.read(key_fd)
+        yield from sys.close(key_fd)
+        crt.gset("sshd_hostkey_digest", key[:20])
+        # Initialize libcrypto: RNG state lives inside the library image,
+        # referenced from a program global (uninstrumented-library state).
+        libcrypto = sys.process.libs["libcrypto"]
+        rng_state = libcrypto.alloc(128)
+        sys.process.space.write_bytes(rng_state, key[:16].ljust(16, b"\x00"))
+        crt.gset("sshd_rng_state", rng_state)
+        import struct as _s
+        crt.gset("sshd_rng_cache", _s.pack("<Q", rng_state))
+        listen_fd = yield from sys.socket()
+        yield from sys.bind(listen_fd, PORT_SSHD)
+        yield from sys.listen(listen_fd, 128)
+        crt.gset("sshd_listen_fd", listen_fd)
+        conf_entry_t = types["ssh_conf_entry_t"]
+        previous = 0
+        for entry_index in range(256):
+            entry = crt.malloc_typed(sys.thread, conf_entry_t)
+            crt.set(entry, conf_entry_t, "next", previous)
+            crt.write_cstr(
+                crt.field_addr(entry, conf_entry_t, "text"),
+                f"sshdconf-{entry_index}:" + "z" * 400,
+            )
+            previous = entry
+        crt.gset("sshd_conf_chain", previous)
+        return listen_fd
+
+    @sim_function
+    def sshd_main(sys):
+        @sim_function
+        def sshd_daemon(sys2):
+            listen_fd = yield from sshd_init(sys2)
+            yield from sshd_master_loop(sys2, listen_fd)
+
+        yield from sys.fork(sshd_daemon, name="sshd-daemon")
+        yield from sys.exit(0)
+
+    return sshd_main, ssh_session_restore
+
+
+def make_program(version: int = 1) -> Program:
+    types = make_types(version)
+    main, session_restore = _make_main(version, types)
+    program = Program(
+        name="opensshd",
+        version=str(version),
+        globals_=make_globals(types),
+        main=main,
+        types=types,
+        libs=[("libcrypto", 64 * 1024)],
+        quiescent_points={
+            ("sshd_master_loop", "accept"),
+            ("ssh_session_loop", "recv"),
+        },
+        metadata={"port": PORT_SSHD},
+    )
+    program.metadata["session_restore"] = session_restore
+    # Volatile-QP restore handler (paper: 49 LOC for OpenSSH).
+    program.annotations.MCR_ADD_REINIT_HANDLER(
+        restore_sessions_handler, stage="post_startup", loc=41
+    )
+    # The auth blob union hides a session pointer; without this annotation
+    # mutable tracing pins the session structure as nonupdatable and any
+    # session-type change conflicts.
+    program.annotations.MCR_ANNOTATE_ENCODED_POINTER("sshd_auth_blob", tag_bits=0x0, loc=8)
+    return program
+
+
+def restore_sessions_handler(context) -> None:
+    program = context.new_session.program
+    session_restore = program.metadata["session_restore"]
+    for old_process in context.missing_counterparts():
+        if "session" not in old_process.name:
+            continue
+        control_fd = None
+        for fd, obj in old_process.fdtable.items():
+            if obj.kind == "stream":
+                control_fd = fd
+                break
+        if control_fd is None:
+            continue
+        context.respawn(old_process, session_restore, args=(control_fd,))
+
+
+def setup_world(kernel) -> None:
+    kernel.fs.create("/etc/ssh/host_key", b"\x13\x37" * 32)

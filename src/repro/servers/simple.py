@@ -1,0 +1,205 @@
+"""The Listing-1 example server: a minimal event-driven MCR subject.
+
+Structure mirrors the paper's sample program:
+
+* ``server_init`` performs all startup (config file, socket/bind/listen,
+  heap-allocated startup configuration stored in the global ``conf``);
+* the main loop blocks in ``server_get_event`` (the natural quiescent
+  point) and dispatches to ``server_handle_event``;
+* auxiliary state: a global linked list ``list_head`` of heap nodes
+  (precisely traced and type-transformable — Figure 2), and a ``char
+  b[8]`` buffer that hides a pointer to an untyped heap array (handled by
+  conservative tracing: the hidden target becomes immutable).
+
+Protocol (newline-framed text):
+
+* ``push <n>``  — prepend a list node with value ``n``; reply ``ok <len>``
+* ``sum``       — reply with the sum of all node values
+* ``version``   — reply with the program version string
+
+Version 2 adds a ``new`` field to the list node type (exactly the paper's
+Figure 2 transformation) and tags fresh nodes with ``new=1``.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict
+
+from repro.errors import SimError
+from repro.kernel.process import sim_function
+from repro.runtime.program import GlobalVar, Program
+from repro.servers.common import PORT_SIMPLE, parse_command
+from repro.types.descriptors import (
+    ArrayType,
+    CHAR,
+    FuncType,
+    INT32,
+    INT64,
+    PointerType,
+    StructType,
+)
+
+MAX_CLIENTS = 32
+
+
+def make_types(version: int) -> Dict[str, object]:
+    """The program's type registry; v2 grows the list node (Figure 2)."""
+    node_fields = [("value", INT32)]
+    if version >= 2:
+        node_fields.append(("new", INT32))
+    l_t = StructType("l_t", node_fields + [("next", PointerType(None, name="l_t*"))])
+    conf_s = StructType(
+        "conf_s",
+        [
+            ("port", INT32),
+            ("max_clients", INT32),
+            ("listen_fd", INT32),
+            ("name", ArrayType(CHAR, 16)),
+        ],
+    )
+    return {"l_t": l_t, "conf_s": conf_s}
+
+
+def make_globals(types: Dict[str, object]) -> list:
+    return [
+        GlobalVar("b", ArrayType(CHAR, 8)),
+        GlobalVar("list_head", PointerType(types["l_t"], name="l_t*")),
+        GlobalVar("list_len", INT64),
+        GlobalVar("conf", PointerType(types["conf_s"], name="conf_s*")),
+        GlobalVar("clients", ArrayType(INT32, MAX_CLIENTS), init=[-1] * MAX_CLIENTS),
+        GlobalVar("request_count", INT64),
+        # A code pointer (dispatch-table style): must be remapped by
+        # function symbol across versions, never copied.
+        GlobalVar("handler_fn", PointerType(FuncType("handler"), name="handler_fn*")),
+    ]
+
+
+def _make_main(version: int, types: Dict[str, object]):
+    l_t = types["l_t"]
+    conf_s = types["conf_s"]
+
+    @sim_function
+    def server_init(sys):
+        crt = sys.process.crt
+        cfg_fd = yield from sys.open("/etc/simple.conf", "r")
+        raw = yield from sys.read(cfg_fd)
+        yield from sys.close(cfg_fd)
+        port = int(raw.decode().strip() or PORT_SIMPLE)
+        listen_fd = yield from sys.socket()
+        yield from sys.bind(listen_fd, port)
+        yield from sys.listen(listen_fd)
+        epfd = yield from sys.epoll_create()
+        yield from sys.epoll_ctl(epfd, "add", listen_fd)
+        conf_addr = crt.malloc_typed(sys.thread, conf_s)
+        crt.set(conf_addr, conf_s, "port", port)
+        crt.set(conf_addr, conf_s, "max_clients", MAX_CLIENTS)
+        crt.set(conf_addr, conf_s, "listen_fd", listen_fd)
+        crt.write_cstr(crt.field_addr(conf_addr, conf_s, "name"), "simple")
+        crt.gset("conf", conf_addr)
+        crt.gset("clients", [-1] * MAX_CLIENTS)
+        return listen_fd, epfd
+
+    @sim_function
+    def server_get_event(sys, epfd):
+        ready = yield from sys.epoll_wait(epfd)
+        return ready
+
+    @sim_function
+    def server_handle_event(sys, conn_fd):
+        crt = sys.process.crt
+        data = yield from sys.recv(conn_fd)
+        if not data:
+            yield from sys.close(conn_fd)
+            return False
+        crt.gset("request_count", crt.gget("request_count") + 1)
+        if crt.gget("handler_fn") == 0:
+            # Late-bound dispatch pointer (post-startup -> transferred).
+            crt.gset("handler_fn", crt.func_addr("server_handle_event"))
+        words = parse_command(data)
+        if not words:
+            yield from sys.send(conn_fd, b"err empty\n")
+            return True
+        if words[0] == "push":
+            value = int(words[1])
+            node = crt.malloc_typed(sys.thread, l_t)
+            crt.set(node, l_t, "value", value)
+            if version >= 2:
+                crt.set(node, l_t, "new", 1)
+            crt.set(node, l_t, "next", crt.gget("list_head"))
+            crt.gset("list_head", node)
+            length = crt.gget("list_len") + 1
+            crt.gset("list_len", length)
+            if length == 1:
+                # Hide a pointer in the char buffer ``b`` (Listing 1 /
+                # Figure 2): an untyped scratch array only reachable
+                # through conservative scanning.
+                scratch = crt.malloc(64, sys.thread)
+                sys.process.space.write_bytes(scratch, b"scratchpad-data!")
+                crt.gset("b", _struct.pack("<Q", scratch))
+            yield from sys.send(conn_fd, f"ok {length}\n".encode())
+            return True
+        if words[0] == "sum":
+            total = 0
+            node = crt.gget("list_head")
+            while node:
+                total += crt.get(node, l_t, "value")
+                node = crt.get(node, l_t, "next")
+            yield from sys.send(conn_fd, f"sum {total}\n".encode())
+            return True
+        if words[0] == "version":
+            yield from sys.send(conn_fd, f"version {version}\n".encode())
+            return True
+        yield from sys.send(conn_fd, b"err unknown\n")
+        return True
+
+    @sim_function
+    def simple_main(sys):
+        crt = sys.process.crt
+        listen_fd, epfd = yield from server_init(sys)
+        while True:
+            sys.loop_iter("main")
+            ready = yield from server_get_event(sys, epfd)
+            if not isinstance(ready, list):
+                continue
+            for fd in ready:
+                if fd == listen_fd:
+                    conn = yield from sys.accept(listen_fd)
+                    yield from sys.epoll_ctl(epfd, "add", conn)
+                    slots = crt.gget("clients")
+                    for index, slot in enumerate(slots):
+                        if slot < 0:
+                            slots[index] = conn
+                            break
+                    crt.gset("clients", slots)
+                else:
+                    try:
+                        keep = yield from server_handle_event(sys, fd)
+                    except SimError:
+                        keep = False  # peer vanished mid-request (EPIPE)
+                    if not keep:
+                        yield from sys.epoll_ctl(epfd, "del", fd)
+                        slots = crt.gget("clients")
+                        slots = [(-1 if s == fd else s) for s in slots]
+                        crt.gset("clients", slots)
+
+    return simple_main
+
+
+def make_program(version: int = 1) -> Program:
+    types = make_types(version)
+    return Program(
+        name="simple",
+        version=str(version),
+        globals_=make_globals(types),
+        main=_make_main(version, types),
+        types=types,
+        quiescent_points={("server_get_event", "epoll_wait")},
+        metadata={"port": PORT_SIMPLE},
+        functions=["server_init", "server_get_event", "server_handle_event", "simple_main"],
+    )
+
+
+def setup_world(kernel) -> None:
+    """Create the files the server expects (config)."""
+    kernel.fs.create("/etc/simple.conf", str(PORT_SIMPLE).encode())

@@ -1,0 +1,293 @@
+"""Simulated vsftpd: per-connection session processes (FTP).
+
+Captures vsftpd's properties from the paper:
+
+* **One persistent quiescent point** — the master's ``accept`` loop — and
+  **volatile** quiescent points in session processes forked per
+  connection (Table 1: Per=1, the rest volatile).  Restoring sessions in
+  the new version needs the ``post_startup`` reinit handler that
+  ``servers.updates`` registers (the paper's 82-LOC extension).
+* **Fully instrumented allocation** — every session object is a typed
+  ``malloc``, so mutable tracing is almost entirely precise; the few
+  likely pointers come from one deliberate type-unsafe idiom (a command
+  scratch buffer caching a pointer), matching the paper's observation
+  that a handful of likely pointers survive even full instrumentation.
+
+FTP-ish protocol (newline-framed): ``USER <n>``, ``PASS <p>``,
+``RETR <path>``, ``STAT``, ``QUIT``.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict
+
+from repro.errors import SimError
+from repro.kernel.process import sim_function
+from repro.runtime.program import GlobalVar, Program
+from repro.servers.common import PORT_VSFTPD, parse_command
+from repro.types.descriptors import (
+    ArrayType,
+    CHAR,
+    INT32,
+    INT64,
+    PointerType,
+    StructType,
+)
+
+MAX_SESSIONS = 128
+
+
+def make_types(version: int) -> Dict[str, object]:
+    session_fields = [
+        ("control_fd", INT32),
+        ("logged_in", INT32),
+        ("bytes_sent", INT64),
+        ("username", ArrayType(CHAR, 16)),
+    ]
+    if version >= 3:
+        session_fields.append(("failed_logins", INT32))
+    if version >= 5:
+        session_fields.append(("idle_seconds", INT64))
+    vsf_session_t = StructType("vsf_session_t", session_fields)
+    slot_fields = [("pid", INT32), ("control_fd", INT32), ("active", INT32)]
+    vsf_slot_t = StructType("vsf_slot_t", slot_fields)
+    vsf_conf_entry_t = StructType(
+        "vsf_conf_entry_t",
+        [("next", PointerType(None)), ("text", ArrayType(CHAR, 500))],
+    )
+    return {
+        "vsf_session_t": vsf_session_t,
+        "vsf_slot_t": vsf_slot_t,
+        "vsf_conf_entry_t": vsf_conf_entry_t,
+    }
+
+
+def make_globals(types: Dict[str, object]) -> list:
+    return [
+        GlobalVar("vsf_listen_fd", INT32, init=-1),
+        GlobalVar("vsf_session_count", INT64),
+        GlobalVar("vsf_slots", ArrayType(types["vsf_slot_t"], MAX_SESSIONS)),
+        # Per-session-process global: pointer to this process's session.
+        GlobalVar("vsf_session", PointerType(types["vsf_session_t"], name="vsf_session_t*")),
+        GlobalVar("vsf_banner", ArrayType(CHAR, 32), init=b"220 vsftpd-sim"),
+        # The type-unsafe idiom: a scratch buffer that caches a pointer.
+        GlobalVar("vsf_cmd_scratch", ArrayType(CHAR, 24)),
+        # Unannotated idiom: caches the last transfer path (a heap string)
+        # in raw chars -> a residual likely pointer even at full
+        # instrumentation, as the paper reports for vsftpd.
+        GlobalVar("vsf_transfer_cache", ArrayType(CHAR, 16)),
+        # Head of the startup configuration chain (heap entries).
+        GlobalVar("vsf_conf_chain", PointerType(None, name="void*")),
+    ]
+
+
+def _make_main(version: int, types: Dict[str, object]):
+    vsf_session_t = types["vsf_session_t"]
+    vsf_slot_t = types["vsf_slot_t"]
+
+    @sim_function
+    def vsf_handle_command(sys, control_fd, line):
+        crt = sys.process.crt
+        session = crt.gget("vsf_session")
+        words = parse_command(line)
+        if not words:
+            yield from sys.send(control_fd, b"500 empty\n")
+            return True
+        command = words[0].upper()
+        if command == "USER":
+            crt.write_cstr(
+                crt.field_addr(session, vsf_session_t, "username"),
+                (words[1] if len(words) > 1 else "")[:15],
+            )
+            yield from sys.send(control_fd, b"331 need password\n")
+            return True
+        if command == "PASS":
+            password_ok = len(words) > 1 and words[1] != "wrong"
+            if password_ok:
+                crt.set(session, vsf_session_t, "logged_in", 1)
+                yield from sys.send(control_fd, b"230 logged in\n")
+            else:
+                if version >= 3:
+                    crt.set(
+                        session, vsf_session_t, "failed_logins",
+                        crt.get(session, vsf_session_t, "failed_logins") + 1,
+                    )
+                yield from sys.send(control_fd, b"530 login incorrect\n")
+            return True
+        if command == "RETR":
+            if not crt.get(session, vsf_session_t, "logged_in"):
+                yield from sys.send(control_fd, b"530 not logged in\n")
+                return True
+            path = words[1] if len(words) > 1 else ""
+            info = yield from sys.stat(path)
+            if info is None:
+                yield from sys.send(control_fd, b"550 no such file\n")
+                return True
+            fd = yield from sys.open(path)
+            body = yield from sys.read(fd, info["size"])
+            yield from sys.close(fd)
+            yield from sys.cpu(len(body) * 2)
+            yield from sys.send(
+                control_fd,
+                f"150 {len(body)}\n".encode() + body + b"\n226 transfer complete\n",
+            )
+            crt.set(
+                session, vsf_session_t, "bytes_sent",
+                crt.get(session, vsf_session_t, "bytes_sent") + len(body),
+            )
+            # Type-unsafe idiom: cache the session pointer in the char
+            # scratch buffer (likely pointer even under full tags).
+            crt.gset("vsf_cmd_scratch", _struct.pack("<Q", session) + b"retr")
+            path_str = crt.strdup(sys.thread, path)
+            crt.gset("vsf_transfer_cache", _struct.pack("<Q", path_str))
+            return True
+        if command == "STAT":
+            name = crt.read_cstr(crt.field_addr(session, vsf_session_t, "username"))
+            sent = crt.get(session, vsf_session_t, "bytes_sent")
+            yield from sys.send(
+                control_fd, f"211 user={name} sent={sent} v{version}\n".encode()
+            )
+            return True
+        if command == "QUIT":
+            yield from sys.send(control_fd, b"221 goodbye\n")
+            return False
+        yield from sys.send(control_fd, b"500 unknown\n")
+        return True
+
+    @sim_function
+    def vsf_session_loop(sys, control_fd):
+        while True:
+            sys.loop_iter("session")
+            line = yield from sys.recv(control_fd)
+            if not line:
+                break
+            try:
+                keep = yield from vsf_handle_command(sys, control_fd, line)
+            except SimError:
+                keep = False  # peer vanished mid-command (EPIPE)
+            if not keep:
+                break
+        yield from sys.close(control_fd)
+        yield from sys.exit(0)
+
+    @sim_function
+    def vsf_session_main(sys, control_fd):
+        crt = sys.process.crt
+        session = crt.malloc_typed(sys.thread, vsf_session_t)
+        crt.set(session, vsf_session_t, "control_fd", control_fd)
+        crt.gset("vsf_session", session)
+        transfer_buf = crt.malloc(4 * 1024, sys.thread)
+        sys.process.space.write_bytes(transfer_buf, b"\x42" * 1024)
+        sys.process.space.write_bytes(
+            crt.global_addr("vsf_cmd_scratch") + 8,
+            transfer_buf.to_bytes(8, "little"),
+        )
+        banner = crt.read_cstr(crt.global_addr("vsf_banner"))
+        yield from sys.send(control_fd, (banner + "\n").encode())
+        yield from vsf_session_loop(sys, control_fd)
+
+    @sim_function
+    def vsf_session_restore(sys, control_fd):
+        """Entry point for sessions recreated after a live update.
+
+        No banner, no allocation: the session object and the per-process
+        ``vsf_session`` global arrive via state transfer; this body only
+        re-enters the (quiescent-point) command loop.
+        """
+        yield from vsf_session_loop(sys, control_fd)
+
+    @sim_function
+    def vsf_master_loop(sys, listen_fd):
+        crt = sys.process.crt
+        while True:
+            sys.loop_iter("master")
+            conn = yield from sys.accept(listen_fd)
+            pid = yield from sys.fork(vsf_session_main, args=(conn,), name="vsftpd-session")
+            count = crt.gget("vsf_session_count")
+            slot_base = crt.global_addr("vsf_slots") + (int(count) % MAX_SESSIONS) * vsf_slot_t.size
+            crt.set(slot_base, vsf_slot_t, "pid", pid)
+            crt.set(slot_base, vsf_slot_t, "control_fd", conn)
+            crt.set(slot_base, vsf_slot_t, "active", 1)
+            crt.gset("vsf_session_count", count + 1)
+            yield from sys.close(conn)  # session process owns it now
+
+    @sim_function
+    def vsftpd_main(sys):
+        crt = sys.process.crt
+        cfg_fd = yield from sys.open("/etc/vsftpd.conf")
+        raw = yield from sys.read(cfg_fd)
+        yield from sys.close(cfg_fd)
+        port = int(raw.decode().strip() or PORT_VSFTPD)
+        listen_fd = yield from sys.socket()
+        yield from sys.bind(listen_fd, port)
+        yield from sys.listen(listen_fd, 128)
+        crt.gset("vsf_listen_fd", listen_fd)
+        conf_entry_t = types["vsf_conf_entry_t"]
+        previous = 0
+        for entry_index in range(256):
+            entry = crt.malloc_typed(sys.thread, conf_entry_t)
+            crt.set(entry, conf_entry_t, "next", previous)
+            crt.write_cstr(
+                crt.field_addr(entry, conf_entry_t, "text"),
+                f"ftpconf-{entry_index}:" + "y" * 400,
+            )
+            previous = entry
+        crt.gset("vsf_conf_chain", previous)
+        yield from vsf_master_loop(sys, listen_fd)
+
+    return vsftpd_main, vsf_session_restore
+
+
+def make_program(version: int = 1) -> Program:
+    types = make_types(version)
+    main, session_restore = _make_main(version, types)
+    program = Program(
+        name="vsftpd",
+        version=str(version),
+        globals_=make_globals(types),
+        main=main,
+        types=types,
+        quiescent_points={
+            ("vsf_master_loop", "accept"),
+            ("vsf_session_loop", "recv"),
+        },
+        metadata={"port": PORT_VSFTPD},
+    )
+    # Exported for the update machinery (the volatile-QP restore handler).
+    program.metadata["session_restore"] = session_restore
+    # Extending mutable reinitialization to the volatile (per-session)
+    # quiescent points: the paper reports 82 LOC for vsftpd.
+    program.annotations.MCR_ADD_REINIT_HANDLER(
+        restore_sessions_handler, stage="post_startup", loc=76
+    )
+    # The command scratch buffer caches a session pointer in raw chars;
+    # annotate it so session-type changes stay transformable.
+    program.annotations.MCR_ANNOTATE_ENCODED_POINTER("vsf_cmd_scratch", tag_bits=0x0, loc=6)
+    return program
+
+
+def restore_sessions_handler(context) -> None:
+    """The vsftpd ``post_startup`` reinit handler (paper: 82 LOC).
+
+    For every old session process with no new-version counterpart, fork a
+    counterpart running the restore entry point on the same control fd.
+    State transfer then refills its session structure.
+    """
+    program = context.new_session.program
+    session_restore = program.metadata["session_restore"]
+    for old_process in context.missing_counterparts():
+        control_fd = None
+        for fd, obj in old_process.fdtable.items():
+            if obj.kind == "stream":
+                control_fd = fd
+                break
+        if control_fd is None:
+            continue
+        context.respawn(old_process, session_restore, args=(control_fd,))
+
+
+def setup_world(kernel) -> None:
+    kernel.fs.create("/etc/vsftpd.conf", str(PORT_VSFTPD).encode())
+    kernel.fs.create("/pub/file1m.bin", b"M" * 8192)  # scaled-down 1 MB file
+    kernel.fs.create("/pub/readme.txt", b"welcome to vsftpd-sim\n")

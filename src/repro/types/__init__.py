@@ -1,0 +1,63 @@
+"""A miniature C type system for simulated programs.
+
+Simulated servers declare their global variables and heap allocations with
+these descriptors.  The descriptors play the role of the *data type tags*
+MCR's static instrumentation emits: they tell precise tracing where the
+pointers are, and their absence (``OpaqueType``, unions, char buffers) is
+what forces mutable tracing into conservative mode.
+"""
+
+from repro.types.descriptors import (
+    ArrayType,
+    CharType,
+    Field,
+    FuncType,
+    IntType,
+    OpaqueType,
+    PointerType,
+    StructType,
+    TypeDesc,
+    UnionType,
+    CHAR,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    UINT16,
+    UINT32,
+    UINT64,
+    VOID_PTR,
+    WORD_SIZE,
+)
+from repro.types.codec import MemoryView, read_value, write_value
+from repro.types.symbols import Symbol, SymbolTable
+
+__all__ = [
+    "ArrayType",
+    "CharType",
+    "Field",
+    "FuncType",
+    "IntType",
+    "OpaqueType",
+    "PointerType",
+    "StructType",
+    "TypeDesc",
+    "UnionType",
+    "CHAR",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "UINT16",
+    "UINT32",
+    "UINT64",
+    "VOID_PTR",
+    "WORD_SIZE",
+    "MemoryView",
+    "read_value",
+    "write_value",
+    "Symbol",
+    "SymbolTable",
+]

@@ -1,0 +1,134 @@
+"""Encoding and decoding typed values in simulated memory.
+
+Values cross this boundary as plain Python objects:
+
+* integers/chars/pointers -> ``int``
+* structs/unions          -> ``dict`` keyed by field name
+* arrays                  -> ``list``
+* opaque regions          -> ``bytes``
+
+The memory side is anything implementing ``MemoryView`` (the simulated
+address space, or a detached ``bytearray`` during transfer staging).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Any, Protocol
+
+from repro.types.descriptors import (
+    ArrayType,
+    CharType,
+    FuncType,
+    IntType,
+    OpaqueType,
+    PointerType,
+    StructType,
+    TypeDesc,
+    UnionType,
+)
+
+_INT_FORMATS = {
+    (1, True): "<b",
+    (1, False): "<B",
+    (2, True): "<h",
+    (2, False): "<H",
+    (4, True): "<i",
+    (4, False): "<I",
+    (8, True): "<q",
+    (8, False): "<Q",
+}
+
+
+class MemoryView(Protocol):
+    """Minimal byte-addressable interface the codec reads/writes through."""
+
+    def read_bytes(self, address: int, size: int) -> bytes: ...
+
+    def write_bytes(self, address: int, data: bytes) -> None: ...
+
+
+def read_word(mem: MemoryView, address: int) -> int:
+    """Read one unsigned 64-bit word (the shape of a pointer)."""
+    return _struct.unpack("<Q", mem.read_bytes(address, 8))[0]
+
+
+def write_word(mem: MemoryView, address: int, value: int) -> None:
+    mem.write_bytes(address, _struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+
+def read_value(mem: MemoryView, address: int, type_: TypeDesc) -> Any:
+    """Decode a value of ``type_`` stored at ``address``."""
+    if isinstance(type_, IntType):
+        fmt = _INT_FORMATS[(type_.size, type_.signed)]
+        return _struct.unpack(fmt, mem.read_bytes(address, type_.size))[0]
+    if isinstance(type_, CharType):
+        return mem.read_bytes(address, 1)[0]
+    if isinstance(type_, (PointerType, FuncType)):
+        return read_word(mem, address)
+    if isinstance(type_, StructType):
+        return {
+            f.name: read_value(mem, address + f.offset, f.type)
+            for f in type_.fields
+        }
+    if isinstance(type_, ArrayType):
+        if type_.is_opaque():
+            return mem.read_bytes(address, type_.size)
+        return [
+            read_value(mem, address + i * type_.element.size, type_.element)
+            for i in range(type_.count)
+        ]
+    if isinstance(type_, (UnionType, OpaqueType)):
+        return mem.read_bytes(address, type_.size)
+    raise TypeError(f"cannot decode type {type_!r}")
+
+
+def write_value(mem: MemoryView, address: int, type_: TypeDesc, value: Any) -> None:
+    """Encode ``value`` of ``type_`` into memory at ``address``."""
+    if isinstance(type_, IntType):
+        fmt = _INT_FORMATS[(type_.size, type_.signed)]
+        mem.write_bytes(address, _struct.pack(fmt, _wrap_int(value, type_)))
+        return
+    if isinstance(type_, CharType):
+        mem.write_bytes(address, bytes([value & 0xFF]))
+        return
+    if isinstance(type_, (PointerType, FuncType)):
+        write_word(mem, address, int(value))
+        return
+    if isinstance(type_, StructType):
+        for f in type_.fields:
+            if f.name in value:
+                write_value(mem, address + f.offset, f.type, value[f.name])
+        return
+    if isinstance(type_, ArrayType):
+        if type_.is_opaque():
+            _write_opaque(mem, address, type_.size, value)
+            return
+        for i, item in enumerate(value):
+            if i >= type_.count:
+                raise ValueError(
+                    f"array overflow: {len(value)} items into {type_.name}"
+                )
+            write_value(mem, address + i * type_.element.size, type_.element, item)
+        return
+    if isinstance(type_, (UnionType, OpaqueType)):
+        _write_opaque(mem, address, type_.size, value)
+        return
+    raise TypeError(f"cannot encode type {type_!r}")
+
+
+def _write_opaque(mem: MemoryView, address: int, size: int, value: Any) -> None:
+    data = bytes(value)
+    if len(data) > size:
+        raise ValueError(f"opaque overflow: {len(data)} bytes into {size}")
+    mem.write_bytes(address, data.ljust(size, b"\x00"))
+
+
+def _wrap_int(value: int, type_: IntType) -> int:
+    """Wrap a Python int into the representable range (C overflow rules)."""
+    bits = type_.size * 8
+    mask = (1 << bits) - 1
+    value &= mask
+    if type_.signed and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value

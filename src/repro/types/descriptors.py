@@ -1,0 +1,269 @@
+"""Type descriptors for simulated C data.
+
+Every descriptor knows its ``size`` and ``align`` in the simulated 64-bit
+machine and can enumerate ``pointer_offsets()`` — the byte offsets within a
+value of this type at which a pointer word lives *according to the type
+information*.  Precise tracing follows exactly those offsets; everything a
+type cannot vouch for (unions, opaque buffers, integers that might hide
+pointers) is handled by the conservative scanner instead.
+
+Descriptors are immutable once constructed and compared structurally via
+``signature()``: two versions of a program have "the same" type when the
+signatures match, which is how mutable tracing decides whether a type
+transformation is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.types import layout
+
+WORD_SIZE = 8  # 64-bit simulated machine
+
+
+class TypeDesc:
+    """Base class for all type descriptors."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, size: int, align: int) -> None:
+        self.name = name
+        self.size = size
+        self.align = align
+
+    def pointer_offsets(self) -> Iterator[Tuple[int, "TypeDesc"]]:
+        """Yield ``(offset, pointer_type)`` for every typed pointer slot."""
+        return iter(())
+
+    def is_opaque(self) -> bool:
+        """True when precise tracing cannot interpret this type's bytes."""
+        return False
+
+    def signature(self) -> str:
+        """A structural identity string, stable across program versions."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} size={self.size}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypeDesc) and self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+
+class IntType(TypeDesc):
+    """A fixed-width integer."""
+
+    kind = "int"
+
+    def __init__(self, size: int, signed: bool = True, name: str = "") -> None:
+        if size not in (1, 2, 4, 8):
+            raise ValueError(f"unsupported integer size: {size}")
+        self.signed = signed
+        label = name or f"{'' if signed else 'u'}int{size * 8}"
+        super().__init__(label, size, size)
+
+    def signature(self) -> str:
+        return f"i{'s' if self.signed else 'u'}{self.size}"
+
+
+class CharType(TypeDesc):
+    """A single byte.  Arrays of char are opaque to precise tracing."""
+
+    kind = "char"
+
+    def __init__(self) -> None:
+        super().__init__("char", 1, 1)
+
+    def signature(self) -> str:
+        return "c"
+
+
+class PointerType(TypeDesc):
+    """A typed pointer.  ``target`` of ``None`` models ``void *``."""
+
+    kind = "pointer"
+
+    def __init__(self, target: Optional[TypeDesc] = None, name: str = "") -> None:
+        self.target = target
+        target_name = target.name if target is not None else "void"
+        super().__init__(name or f"{target_name}*", WORD_SIZE, WORD_SIZE)
+
+    def pointer_offsets(self) -> Iterator[Tuple[int, "PointerType"]]:
+        yield 0, self
+
+    def signature(self) -> str:
+        # Pointer signatures deliberately use only the *name* of the target
+        # (not its full structure): pointer graphs are cyclic, and a pointer
+        # slot is layout-identical regardless of how the pointee changed.
+        target_sig = self.target.name if self.target is not None else "void"
+        return f"p:{target_sig}"
+
+
+class FuncType(TypeDesc):
+    """A function (pointers to these are code pointers, never traced)."""
+
+    kind = "func"
+
+    def __init__(self, name: str = "func") -> None:
+        super().__init__(name, WORD_SIZE, WORD_SIZE)
+
+    def signature(self) -> str:
+        return "fn"
+
+
+class Field:
+    """A named struct/union member."""
+
+    __slots__ = ("name", "type", "offset")
+
+    def __init__(self, name: str, type_: TypeDesc, offset: int = 0) -> None:
+        self.name = name
+        self.type = type_
+        self.offset = offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Field {self.name}:{self.type.name}@{self.offset}>"
+
+
+class StructType(TypeDesc):
+    """A C struct with naturally-aligned members."""
+
+    kind = "struct"
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, TypeDesc]]) -> None:
+        pairs = [(t.size, t.align) for _, t in fields]
+        offsets, size, align = layout.struct_layout(pairs)
+        self.fields: List[Field] = [
+            Field(fname, ftype, offset)
+            for (fname, ftype), offset in zip(fields, offsets)
+        ]
+        super().__init__(name, size, align)
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def pointer_offsets(self) -> Iterator[Tuple[int, PointerType]]:
+        for f in self.fields:
+            for inner_offset, ptr_type in f.type.pointer_offsets():
+                yield f.offset + inner_offset, ptr_type
+
+    def is_opaque(self) -> bool:
+        # A struct is traceable as long as each member is either traceable
+        # or a plain scalar; embedded unions/opaque members make only those
+        # *regions* opaque, handled field-by-field by the tracer.
+        return False
+
+    def opaque_ranges(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(offset, size)`` for members needing conservative scan."""
+        for f in self.fields:
+            if f.type.is_opaque():
+                yield f.offset, f.type.size
+            elif isinstance(f.type, StructType):
+                for off, size in f.type.opaque_ranges():
+                    yield f.offset + off, size
+            elif isinstance(f.type, ArrayType):
+                for off, size in f.type.opaque_ranges():
+                    yield f.offset + off, size
+
+    def signature(self) -> str:
+        inner = ",".join(f"{f.name}:{f.type.signature()}" for f in self.fields)
+        return f"s:{self.name}{{{inner}}}"
+
+
+class UnionType(TypeDesc):
+    """A C union.  Always opaque: the active member is unknowable."""
+
+    kind = "union"
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, TypeDesc]]) -> None:
+        pairs = [(t.size, t.align) for _, t in fields]
+        size, align = layout.union_layout(pairs)
+        self.fields = [Field(fname, ftype, 0) for fname, ftype in fields]
+        super().__init__(name, size, align)
+
+    def is_opaque(self) -> bool:
+        return True
+
+    def signature(self) -> str:
+        inner = ",".join(f"{f.name}:{f.type.signature()}" for f in self.fields)
+        return f"u:{self.name}{{{inner}}}"
+
+
+class ArrayType(TypeDesc):
+    """A fixed-length array."""
+
+    kind = "array"
+
+    def __init__(self, element: TypeDesc, count: int) -> None:
+        if count < 0:
+            raise ValueError(f"array count must be non-negative: {count}")
+        self.element = element
+        self.count = count
+        super().__init__(f"{element.name}[{count}]", element.size * count, element.align)
+
+    def pointer_offsets(self) -> Iterator[Tuple[int, PointerType]]:
+        for index in range(self.count):
+            base = index * self.element.size
+            for inner_offset, ptr_type in self.element.pointer_offsets():
+                yield base + inner_offset, ptr_type
+
+    def is_opaque(self) -> bool:
+        # char arrays are the canonical opaque buffer of the paper's
+        # default policy (Listing 1's ``char b[8]``).
+        return isinstance(self.element, CharType) or self.element.is_opaque()
+
+    def opaque_ranges(self) -> Iterator[Tuple[int, int]]:
+        if self.is_opaque():
+            yield 0, self.size
+            return
+        if isinstance(self.element, (StructType, ArrayType)):
+            for index in range(self.count):
+                base = index * self.element.size
+                for off, size in self.element.opaque_ranges():
+                    yield base + off, size
+
+    def signature(self) -> str:
+        return f"a:{self.count}x{self.element.signature()}"
+
+
+class OpaqueType(TypeDesc):
+    """A raw byte region with no type information at all.
+
+    This is what an allocation from an *uninstrumented* allocator (or
+    library) looks like to mutable tracing: size known, contents unknown.
+    """
+
+    kind = "opaque"
+
+    def __init__(self, size: int, name: str = "") -> None:
+        super().__init__(name or f"opaque[{size}]", size, WORD_SIZE if size >= WORD_SIZE else 1)
+
+    def is_opaque(self) -> bool:
+        return True
+
+    def signature(self) -> str:
+        return f"o:{self.size}"
+
+
+# Shared singleton scalars --------------------------------------------------
+
+CHAR = CharType()
+INT8 = IntType(1, signed=True)
+INT16 = IntType(2, signed=True)
+INT32 = IntType(4, signed=True)
+INT64 = IntType(8, signed=True)
+UINT8 = IntType(1, signed=False)
+UINT16 = IntType(2, signed=False)
+UINT32 = IntType(4, signed=False)
+UINT64 = IntType(8, signed=False)
+VOID_PTR = PointerType(None)

@@ -1,0 +1,52 @@
+"""Layout computation: sizes, alignments, and struct field offsets.
+
+We follow the SysV AMD64 rules that matter for tracing: natural alignment
+for scalars, struct alignment is the max of member alignments, members are
+padded to their alignment, total struct size is padded to the struct
+alignment, unions take the size/alignment of their largest member.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    remainder = value % alignment
+    if remainder == 0:
+        return value
+    return value + alignment - remainder
+
+
+def struct_layout(
+    member_sizes_aligns: Sequence[Tuple[int, int]],
+) -> Tuple[List[int], int, int]:
+    """Compute struct member offsets, total size, and alignment.
+
+    ``member_sizes_aligns`` is a sequence of ``(size, align)`` pairs, one
+    per member in declaration order.  Returns ``(offsets, size, align)``.
+    """
+    offsets: List[int] = []
+    cursor = 0
+    struct_align = 1
+    for size, align in member_sizes_aligns:
+        cursor = align_up(cursor, align)
+        offsets.append(cursor)
+        cursor += size
+        struct_align = max(struct_align, align)
+    total = align_up(cursor, struct_align) if member_sizes_aligns else 0
+    return offsets, total, struct_align
+
+
+def union_layout(
+    member_sizes_aligns: Sequence[Tuple[int, int]],
+) -> Tuple[int, int]:
+    """Compute a union's total size and alignment."""
+    if not member_sizes_aligns:
+        return 0, 1
+    union_align = max(align for _, align in member_sizes_aligns)
+    raw_size = max(size for size, _ in member_sizes_aligns)
+    return align_up(raw_size, union_align), union_align

@@ -1,0 +1,68 @@
+"""Symbol tables for static program objects.
+
+MCR matches *static* objects across versions by symbol name (paper §6,
+"Precise tracing": "We use symbol names to match static objects").  The
+symbol table is produced when a ``Program`` is loaded: each global variable
+gets an address in the data segment and an entry here, which doubles as the
+root set for mutable tracing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.types.descriptors import TypeDesc
+
+
+class Symbol:
+    """A named static object with a resolved address."""
+
+    __slots__ = ("name", "type", "address", "section")
+
+    def __init__(self, name: str, type_: TypeDesc, address: int, section: str = "data") -> None:
+        self.name = name
+        self.type = type_
+        self.address = address
+        self.section = section
+
+    @property
+    def end(self) -> int:
+        return self.address + self.type.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Symbol {self.name}@0x{self.address:x} {self.type.name}>"
+
+
+class SymbolTable:
+    """Name -> symbol mapping with reverse (address) lookup."""
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Symbol] = {}
+
+    def add(self, symbol: Symbol) -> Symbol:
+        if symbol.name in self._by_name:
+            raise ValueError(f"duplicate symbol: {symbol.name}")
+        self._by_name[symbol.name] = symbol
+        return symbol
+
+    def lookup(self, name: str) -> Symbol:
+        return self._by_name[name]
+
+    def get(self, name: str) -> Optional[Symbol]:
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Symbol]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def find_containing(self, address: int) -> Optional[Symbol]:
+        """Find the symbol whose storage contains ``address``, if any."""
+        for symbol in self._by_name.values():
+            if symbol.address <= address < symbol.end:
+                return symbol
+        return None

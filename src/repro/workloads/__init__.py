@@ -1,0 +1,18 @@
+"""Client workloads: benchmarks and quiescence-profiling scripts.
+
+* ``ab``       — the Apache-benchmark analogue (keep-alive HTTP GETs).
+* ``ftpbench`` — the pyftpdlib-benchmark analogue (FTP logins + RETRs).
+* ``sshsuite`` — the OpenSSH built-in-test-suite analogue.
+* ``profiles`` — the §8 quiescence-profiling scripts: long-lived idle
+  connections plus one large parallel transfer.
+* ``holders``  — connection holders for update-time experiments (open N
+  connections, freeze them across a live update — Figure 3).
+"""
+
+from repro.workloads.ab import ApacheBench
+from repro.workloads.ftpbench import FtpBench
+from repro.workloads.sshsuite import SshSuite
+from repro.workloads.holders import ConnectionHolder
+from repro.workloads import profiles
+
+__all__ = ["ApacheBench", "FtpBench", "SshSuite", "ConnectionHolder", "profiles"]

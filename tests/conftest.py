@@ -1,0 +1,31 @@
+"""Shared fixtures for the MCR reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.mem.address_space import AddressSpace
+from repro.mem.ptmalloc import PtMallocHeap
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace()
+
+
+@pytest.fixture
+def heap(space: AddressSpace) -> PtMallocHeap:
+    heap = PtMallocHeap(space)
+    heap.end_startup()  # most allocator tests want normal-mode behaviour
+    return heap
+
+
+@pytest.fixture
+def startup_heap(space: AddressSpace) -> PtMallocHeap:
+    return PtMallocHeap(space)  # still in startup mode

@@ -1,0 +1,114 @@
+"""Tests for the optional mechanisms (paper's 'not implemented yet' items
+and run-time policies) that this reproduction implements behind config."""
+
+import pytest
+
+from repro.mcr.config import MCRConfig
+from repro.mcr.tracing.graph import GraphBuilder
+from repro.mcr.tracing.invariants import apply_invariants
+from repro.mcr.tracing.transfer import StateTransfer
+from repro.runtime.cruntime import SharedLib
+from repro.runtime.program import GlobalVar
+from repro.types.descriptors import ArrayType, CHAR, INT64, PointerType
+
+from tests.helpers import boot_test_program, make_test_program
+from repro.kernel import Kernel
+
+
+def _world(globals_, kernel=None):
+    program = make_test_program(globals_)
+    return boot_test_program(program, kernel=kernel)
+
+
+class TestInteriorOnlyNonupdatable:
+    def _trace_with(self, interior_only, point_at_base):
+        from repro.types.descriptors import INT32, StructType
+
+        node = StructType("n", [("a", INT32), ("b", INT32), ("c", INT32)])
+        kernel, session, proc = _world([GlobalVar("b", ArrayType(CHAR, 8))])
+        crt = proc.crt
+        # A *typed* target: precise tracing handles its interior, so only
+        # the likely-pointer invariants decide its updatability.
+        target = crt.malloc_typed(proc.threads[1], node)
+        value = target if point_at_base else target + 4
+        proc.space.write_word(crt.global_addr("b"), value)
+        config = MCRConfig(interior_only_nonupdatable=interior_only)
+        trace = apply_invariants(GraphBuilder(proc, config).build())
+        return trace.objects[target]
+
+    def test_strict_mode_pins_base_targets(self):
+        record = self._trace_with(interior_only=False, point_at_base=True)
+        assert record.immutable and record.nonupdatable
+
+    def test_refined_mode_keeps_base_targets_updatable(self):
+        record = self._trace_with(interior_only=True, point_at_base=True)
+        assert record.immutable          # still cannot be relocated...
+        assert not record.nonupdatable   # ...but can be type-transformed
+
+    def test_refined_mode_still_pins_interior_targets(self):
+        record = self._trace_with(interior_only=True, point_at_base=False)
+        assert record.immutable and record.nonupdatable
+
+
+class TestSharedLibTransfer:
+    def _world_with_lib(self, kernel=None):
+        kernel, session, proc = _world([GlobalVar("lib_ptr", PointerType(None))], kernel)
+        lib = SharedLib(proc, "libstate", 8192)
+        state = lib.alloc(64)
+        proc.space.write_bytes(state, b"library-internal-state")
+        proc.crt.gset("lib_ptr", state)
+        return kernel, proc, lib, state
+
+    def test_default_skips_library_contents(self):
+        kernel, proc, lib, state = self._world_with_lib()
+        trace = GraphBuilder(proc).build()
+        record = trace.objects.get(state)
+        assert record is not None  # the object is known (pointer target)...
+        # ...but nothing *inside* it was scanned: a pointer hidden in lib
+        # state is not discovered under the default policy.
+        hidden_target = proc.crt.malloc(32)
+        proc.space.write_word(state + 8, hidden_target)
+        trace = GraphBuilder(proc).build()
+        assert hidden_target not in trace.objects
+
+    def test_opt_in_scans_library_state(self):
+        kernel, proc, lib, state = self._world_with_lib()
+        hidden_target = proc.crt.malloc(32)
+        proc.space.write_word(state + 8, hidden_target)
+        config = MCRConfig(transfer_shared_libs=True)
+        trace = GraphBuilder(proc, config).build()
+        assert hidden_target in trace.objects
+
+    def test_opt_in_transfers_lib_bytes(self):
+        kernel = Kernel()
+        k, old, lib, state = self._world_with_lib(kernel)
+        # New version with the same lib at the same base (prelink).
+        program_v2 = make_test_program([GlobalVar("lib_ptr", PointerType(None))], version="2")
+        program_v2.pinned_symbols = {}
+        k2, s2, new = boot_test_program(program_v2, kernel=kernel)
+        SharedLib(new, "libstate", 8192, base=lib.base)
+        config = MCRConfig(transfer_shared_libs=True)
+        StateTransfer(old, new, program_v2, config).run()
+        assert new.space.read_bytes(state, 22) == b"library-internal-state"
+
+    def test_default_does_not_transfer_lib_bytes(self):
+        kernel = Kernel()
+        k, old, lib, state = self._world_with_lib(kernel)
+        program_v2 = make_test_program([GlobalVar("lib_ptr", PointerType(None))], version="2")
+        k2, s2, new = boot_test_program(program_v2, kernel=kernel)
+        SharedLib(new, "libstate", 8192, base=lib.base)
+        StateTransfer(old, new, program_v2).run()
+        assert new.space.read_bytes(state, 4) == b"\x00\x00\x00\x00"
+
+
+class TestDirtyFilterSwitch:
+    def test_disabled_filter_transfers_clean_objects(self):
+        kernel = Kernel()
+        program = make_test_program([GlobalVar("counter", INT64, init=7)])
+        k1, s1, old = boot_test_program(program, kernel=kernel)
+        program2 = make_test_program([GlobalVar("counter", INT64, init=7)], version="2")
+        k2, s2, new = boot_test_program(program2, kernel=kernel)
+        new.crt.gset("counter", 99)
+        # counter is clean in old; with the filter off it transfers anyway.
+        StateTransfer(old, new, program2, use_dirty_filter=False).run()
+        assert new.crt.gget("counter") == 7

@@ -1,0 +1,77 @@
+"""Tests for the benchmark harness plumbing (not the experiments)."""
+
+import pytest
+
+from repro.bench.harness import (
+    PRIMARY_SERVERS,
+    SERVER_BENCHES,
+    boot_server,
+    build_ladder,
+)
+from repro.bench.reporting import paper_vs_measured, render_table
+from repro.bench.table3 import PAPER_TABLE3
+from repro.bench.table2 import PAPER_TABLE2
+from repro.runtime.instrument import BuildConfig
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [[1, 2.5], ["xx", "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text  # floats formatted
+        assert "xx" in text
+
+    def test_render_table_note(self):
+        text = render_table("T", ["a"], [[1]], note="compare shapes")
+        assert text.endswith("compare shapes")
+
+    def test_paper_vs_measured_rows(self):
+        rows = paper_vs_measured({"x": 1, "y": 2}, {"y": 3, "z": 4})
+        assert rows == [["x", 1, "-"], ["y", 2, 3], ["z", "-", 4]]
+
+
+class TestHarness:
+    def test_all_five_subjects_registered(self):
+        assert set(SERVER_BENCHES) == {
+            "httpd", "nginx", "nginx_reg", "vsftpd", "opensshd"
+        }
+        assert set(PRIMARY_SERVERS) <= set(SERVER_BENCHES)
+
+    def test_default_build_honors_region_flag(self):
+        world = boot_server("nginx_reg")
+        assert world.root.build.instrument_regions
+        world = boot_server("nginx")
+        assert not world.root.build.instrument_regions
+
+    def test_boot_baseline_has_no_session(self):
+        world = boot_server("nginx", build=BuildConfig.baseline())
+        assert world.session is None
+        # nginx daemonizes (the root exits) but the daemon tree serves.
+        assert world.root.tree()
+        assert 8081 in world.kernel.net._listeners
+
+    def test_build_ladder_order(self):
+        ladder = build_ladder()
+        assert list(ladder) == ["baseline", "Unblock", "+SInstr", "+DInstr", "+QDet"]
+        assert ladder["+QDet"]().updatable
+
+    def test_paper_reference_tables_cover_all_subjects(self):
+        assert set(PAPER_TABLE3) == set(SERVER_BENCHES)
+        assert set(PAPER_TABLE2) == set(SERVER_BENCHES)
+
+    @pytest.mark.parametrize("name", sorted(SERVER_BENCHES))
+    def test_every_subject_boots_and_serves(self, name):
+        world = boot_server(name)
+        assert world.session.startup_complete
+        workload = SERVER_BENCHES[name]["workload"]()
+        # Tiny run: shrink the workload where supported.
+        if hasattr(workload, "requests"):
+            workload.requests = 8
+        if hasattr(workload, "users"):
+            workload.users = 2
+        if hasattr(workload, "sessions"):
+            workload.sessions = 2
+        workload.run(world.kernel)
+        assert workload.errors == 0
+        assert workload.completed > 0

@@ -1,0 +1,134 @@
+"""Codec round-trip tests, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address_space import AddressSpace
+from repro.types import codec
+from repro.types.descriptors import (
+    ArrayType,
+    CHAR,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    OpaqueType,
+    PointerType,
+    StructType,
+    UINT32,
+    UINT64,
+    UnionType,
+)
+
+
+@pytest.fixture
+def mem():
+    space = AddressSpace()
+    space.map(4096, address=0x10000, name="scratch")
+    return space
+
+ADDR = 0x10000
+
+
+class TestScalars:
+    def test_int32_roundtrip(self, mem):
+        codec.write_value(mem, ADDR, INT32, -123456)
+        assert codec.read_value(mem, ADDR, INT32) == -123456
+
+    def test_uint64_roundtrip(self, mem):
+        codec.write_value(mem, ADDR, UINT64, 2**63 + 5)
+        assert codec.read_value(mem, ADDR, UINT64) == 2**63 + 5
+
+    def test_signed_overflow_wraps(self, mem):
+        codec.write_value(mem, ADDR, INT8, 200)  # C-style wrap
+        assert codec.read_value(mem, ADDR, INT8) == 200 - 256
+
+    def test_pointer_roundtrip(self, mem):
+        codec.write_value(mem, ADDR, PointerType(None), 0xDEADBEEF)
+        assert codec.read_value(mem, ADDR, PointerType(None)) == 0xDEADBEEF
+
+    def test_char_roundtrip(self, mem):
+        codec.write_value(mem, ADDR, CHAR, ord("x"))
+        assert codec.read_value(mem, ADDR, CHAR) == ord("x")
+
+
+class TestComposite:
+    def test_struct_roundtrip(self, mem):
+        s = StructType("s", [("a", INT32), ("p", PointerType(None)), ("b", INT16)])
+        value = {"a": 7, "p": 0x1234, "b": -2}
+        codec.write_value(mem, ADDR, s, value)
+        assert codec.read_value(mem, ADDR, s) == value
+
+    def test_partial_struct_write(self, mem):
+        s = StructType("s", [("a", INT32), ("b", INT32)])
+        codec.write_value(mem, ADDR, s, {"a": 1, "b": 2})
+        codec.write_value(mem, ADDR, s, {"b": 9})
+        assert codec.read_value(mem, ADDR, s) == {"a": 1, "b": 9}
+
+    def test_int_array_roundtrip(self, mem):
+        arr = ArrayType(INT32, 4)
+        codec.write_value(mem, ADDR, arr, [1, -2, 3, -4])
+        assert codec.read_value(mem, ADDR, arr) == [1, -2, 3, -4]
+
+    def test_array_overflow_raises(self, mem):
+        arr = ArrayType(INT32, 2)
+        with pytest.raises(ValueError):
+            codec.write_value(mem, ADDR, arr, [1, 2, 3])
+
+    def test_char_array_as_bytes(self, mem):
+        arr = ArrayType(CHAR, 8)
+        codec.write_value(mem, ADDR, arr, b"hi")
+        assert codec.read_value(mem, ADDR, arr) == b"hi\x00\x00\x00\x00\x00\x00"
+
+    def test_union_as_bytes(self, mem):
+        u = UnionType("u", [("a", INT64), ("b", ArrayType(CHAR, 4))])
+        codec.write_value(mem, ADDR, u, b"\x01\x02")
+        assert codec.read_value(mem, ADDR, u)[:2] == b"\x01\x02"
+
+    def test_opaque_overflow_raises(self, mem):
+        with pytest.raises(ValueError):
+            codec.write_value(mem, ADDR, OpaqueType(4), b"too long!")
+
+    def test_nested_struct(self, mem):
+        inner = StructType("inner", [("x", INT32), ("y", INT32)])
+        outer = StructType("outer", [("head", inner), ("count", INT64)])
+        value = {"head": {"x": 1, "y": 2}, "count": 3}
+        codec.write_value(mem, ADDR, outer, value)
+        assert codec.read_value(mem, ADDR, outer) == value
+
+
+class TestProperties:
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    @settings(max_examples=50)
+    def test_int32_roundtrip_property(self, value):
+        space = AddressSpace()
+        space.map(4096, address=0x10000, name="scratch")
+        codec.write_value(space, 0x10000, INT32, value)
+        assert codec.read_value(space, 0x10000, INT32) == value
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=16
+        )
+    )
+    @settings(max_examples=50)
+    def test_uint32_array_roundtrip_property(self, values):
+        space = AddressSpace()
+        space.map(4096, address=0x10000, name="scratch")
+        arr = ArrayType(UINT32, len(values))
+        codec.write_value(space, 0x10000, arr, values)
+        assert codec.read_value(space, 0x10000, arr) == values
+
+    @given(st.binary(max_size=32))
+    @settings(max_examples=50)
+    def test_opaque_roundtrip_property(self, data):
+        space = AddressSpace()
+        space.map(4096, address=0x10000, name="scratch")
+        o = OpaqueType(32)
+        codec.write_value(space, 0x10000, o, data)
+        assert codec.read_value(space, 0x10000, o) == data.ljust(32, b"\x00")
+
+    def test_word_helpers(self, mem):
+        codec.write_word(mem, ADDR, 0xFFFF_FFFF_FFFF_FFFF + 5)  # masks to 4
+        assert codec.read_word(mem, ADDR) == 4

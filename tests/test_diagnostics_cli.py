@@ -1,0 +1,118 @@
+"""Tests for the diagnostics renderer and the CLI front end."""
+
+import pytest
+
+from repro.errors import ConflictError, QuiescenceTimeout
+from repro.cli import build_parser, main
+from repro.kernel import Kernel
+from repro.mcr.ctl import McrCtl
+from repro.mcr.diagnostics import (
+    describe_process_tree,
+    describe_trace,
+    describe_update,
+    explain_conflict,
+)
+from repro.mcr.tracing.graph import GraphBuilder
+from repro.mcr.tracing.invariants import apply_invariants
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession
+from repro.runtime.program import load_program
+from repro.servers import simple
+
+
+def _booted_simple(kernel):
+    simple.setup_world(kernel)
+    program = simple.make_program(1)
+    session = MCRSession(kernel, program, BuildConfig.full())
+    root = load_program(kernel, program, build=BuildConfig.full(), session=session)
+    kernel.run(until=lambda: session.startup_complete, max_steps=100_000)
+    return program, session, root
+
+
+class TestDiagnostics:
+    def test_describe_trace_sections(self, kernel):
+        _program, session, root = _booted_simple(kernel)
+        trace = apply_invariants(GraphBuilder(root).build())
+        text = describe_trace(trace)
+        assert "objects:" in text and "pointers:" in text and "invariants:" in text
+        assert f"pid {root.pid}" in text
+
+    def test_describe_process_tree(self, kernel):
+        _program, session, root = _booted_simple(kernel)
+        text = describe_process_tree(root)
+        assert root.name in text
+
+    def test_describe_committed_update(self, kernel):
+        _program, session, root = _booted_simple(kernel)
+        result = McrCtl(kernel, session).live_update(simple.make_program(2))
+        text = describe_update(result)
+        assert "COMMITTED" in text
+        assert "state transfer:" in text
+        assert "process pair(s)" in text
+
+    def test_describe_rolled_back_update_has_advice(self, kernel):
+        _program, session, root = _booted_simple(kernel)
+        kernel.fs.create("/etc/simple.conf", b"9999")  # config drift
+        result = McrCtl(kernel, session).live_update(simple.make_program(2))
+        assert result.rolled_back
+        text = describe_update(result)
+        assert "ROLLED BACK" in text
+        assert "advice:" in text
+
+    def test_explain_reinit_argument_conflict(self):
+        error = ConflictError("reinit", "bind@main", "argument mismatch: ...")
+        assert "MCR_ADD_REINIT_HANDLER" in explain_conflict(error)
+
+    def test_explain_reinit_omission(self):
+        error = ConflictError("reinit", "socket@main", "never replayed by ...")
+        assert "omitted" in explain_conflict(error)
+
+    def test_explain_tracing_type_conflict(self):
+        error = ConflictError(
+            "tracing", "session", "type of conservatively-handled object changed (x)"
+        )
+        advice = explain_conflict(error)
+        assert "MCR_ADD_OBJ_HANDLER" in advice
+
+    def test_explain_dropped_object(self):
+        error = ConflictError(
+            "tracing", "0x1", "pointer to an object with no new-version counterpart"
+        )
+        assert "state-transfer handler" in explain_conflict(error)
+
+    def test_explain_quiescence_timeout(self):
+        advice = explain_conflict(QuiescenceTimeout("laggards: x"))
+        assert "profiler" in advice
+
+    def test_explain_unknown(self):
+        assert "Unrecognized" in explain_conflict(RuntimeError("boom"))
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["demo", "nginx"])
+        assert args.server == "nginx"
+        args = parser.parse_args(["bench", "table3"])
+        assert args.experiment == "table3"
+
+    def test_unknown_server_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["demo", "apache2"])
+
+    def test_status_command(self, capsys):
+        assert main(["status", "simple"]) == 0
+        out = capsys.readouterr().out
+        assert "phase: normal" in out
+
+    def test_demo_command_commits(self, capsys):
+        assert main(["demo", "simple"]) == 0
+        out = capsys.readouterr().out
+        assert "COMMITTED" in out
+
+    def test_profile_command_single_server(self, capsys):
+        assert main(["profile", "nginx"]) == 0
+        out = capsys.readouterr().out
+        assert "Quiescence profile for nginx" in out
+        assert "SL=1 LL=2" in out

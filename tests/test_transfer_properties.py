@@ -1,0 +1,213 @@
+"""Property-based end-to-end checks of the state-transfer engine.
+
+Generate random heap object graphs (arbitrary edges, cycles, sharing,
+unreachable islands) in an old-version process, transfer, and verify the
+new version's graph is *isomorphic with identical payloads* — the
+fundamental correctness property of mutable tracing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Kernel
+from repro.mcr.tracing.transfer import StateTransfer
+from repro.runtime.program import GlobalVar
+from repro.types.descriptors import ArrayType, INT32, INT64, PointerType, StructType
+
+from tests.helpers import boot_test_program, make_test_program
+
+NODE = StructType(
+    "gnode",
+    [
+        ("value", INT64),
+        ("left", PointerType(None, name="gnode*")),
+        ("right", PointerType(None, name="gnode*")),
+    ],
+)
+
+HEAD_COUNT = 3
+
+# Payload values stay below every simulated mapping base: an int64 whose
+# value collides with a live address is (correctly!) treated as a likely
+# pointer by the pointer-as-integer policy and pins its container — see
+# test_value_colliding_with_address_pins_node for that behaviour.
+graph_strategy = st.integers(2, 12).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.integers(-(2**18), 2**18), min_size=n, max_size=n),  # values
+        st.lists(st.integers(0, n), min_size=n, max_size=n),  # left edges (n = null)
+        st.lists(st.integers(0, n), min_size=n, max_size=n),  # right edges
+        st.lists(st.integers(0, n - 1), min_size=HEAD_COUNT, max_size=HEAD_COUNT),
+    )
+)
+
+
+def _globals():
+    return [GlobalVar(f"h{i}", PointerType(NODE, name="gnode*")) for i in range(HEAD_COUNT)]
+
+
+def _build_graph(proc, n, values, lefts, rights, heads):
+    crt = proc.crt
+    thread = proc.threads[1]
+    nodes = [crt.malloc_typed(thread, NODE) for _ in range(n)]
+    for index, addr in enumerate(nodes):
+        crt.set(addr, NODE, "value", values[index])
+        crt.set(addr, NODE, "left", 0 if lefts[index] == n else nodes[lefts[index]])
+        crt.set(addr, NODE, "right", 0 if rights[index] == n else nodes[rights[index]])
+    for slot, node_index in enumerate(heads):
+        crt.gset(f"h{slot}", nodes[node_index])
+    return nodes
+
+
+def _walk_isomorphic(old_proc, new_proc):
+    """Walk both graphs from every head; assert structural equality."""
+    mapping = {}  # old addr -> new addr
+
+    def check(old_addr, new_addr):
+        stack = [(old_addr, new_addr)]
+        while stack:
+            old_node, new_node = stack.pop()
+            if old_node == 0 or new_node == 0:
+                assert old_node == new_node == 0
+                continue
+            if old_node in mapping:
+                assert mapping[old_node] == new_node
+                continue
+            mapping[old_node] = new_node
+            assert old_proc.crt.get(old_node, NODE, "value") == new_proc.crt.get(
+                new_node, NODE, "value"
+            )
+            for field in ("left", "right"):
+                stack.append(
+                    (
+                        old_proc.crt.get(old_node, NODE, field),
+                        new_proc.crt.get(new_node, NODE, field),
+                    )
+                )
+
+    for slot in range(HEAD_COUNT):
+        check(old_proc.crt.gget(f"h{slot}"), new_proc.crt.gget(f"h{slot}"))
+    return mapping
+
+
+class TestGraphTransferProperties:
+    @given(graph_strategy)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_graph_survives_transfer_isomorphically(self, spec):
+        n, values, lefts, rights, heads = spec
+        kernel = Kernel()
+        program_v1 = make_test_program(_globals(), types={"gnode": NODE}, version="1")
+        _k, _s, old = boot_test_program(program_v1, kernel=kernel)
+        program_v2 = make_test_program(_globals(), types={"gnode": NODE}, version="2")
+        _k, _s, new = boot_test_program(program_v2, kernel=kernel)
+        _build_graph(old, n, values, lefts, rights, heads)
+        StateTransfer(old, new, program_v2).run()
+        mapping = _walk_isomorphic(old, new)
+        # Every reachable node was transferred and none share storage.
+        assert len(set(mapping.values())) == len(mapping)
+        # All transferred nodes live in the NEW process's heap.
+        for new_addr in mapping.values():
+            assert new.heap.find_chunk(new_addr) is not None
+
+    @given(graph_strategy)
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_transfer_then_type_growth(self, spec):
+        """Same graphs, but the new version's node type has a new field."""
+        n, values, lefts, rights, heads = spec
+        node_v2 = StructType(
+            "gnode",
+            [
+                ("value", INT64),
+                ("generation", INT32),
+                ("left", PointerType(None, name="gnode*")),
+                ("right", PointerType(None, name="gnode*")),
+            ],
+        )
+
+        def globals_v2():
+            return [
+                GlobalVar(f"h{i}", PointerType(node_v2, name="gnode*"))
+                for i in range(HEAD_COUNT)
+            ]
+
+        kernel = Kernel()
+        program_v1 = make_test_program(_globals(), types={"gnode": NODE}, version="1")
+        _k, _s, old = boot_test_program(program_v1, kernel=kernel)
+        program_v2 = make_test_program(globals_v2(), types={"gnode": node_v2}, version="2")
+        _k, _s, new = boot_test_program(program_v2, kernel=kernel)
+        _build_graph(old, n, values, lefts, rights, heads)
+        StateTransfer(old, new, program_v2).run()
+        # Walk the transformed graph: values preserved, new field zeroed.
+        seen = set()
+        for slot in range(HEAD_COUNT):
+            old_head = old.crt.gget(f"h{slot}")
+            new_head = new.crt.gget(f"h{slot}")
+            stack = [(old_head, new_head)]
+            while stack:
+                old_node, new_node = stack.pop()
+                if old_node == 0 or new_node in seen:
+                    continue
+                seen.add(new_node)
+                assert new.crt.get(new_node, node_v2, "value") == old.crt.get(
+                    old_node, NODE, "value"
+                )
+                assert new.crt.get(new_node, node_v2, "generation") == 0
+                stack.append(
+                    (old.crt.get(old_node, NODE, "left"),
+                     new.crt.get(new_node, node_v2, "left"))
+                )
+                stack.append(
+                    (old.crt.get(old_node, NODE, "right"),
+                     new.crt.get(new_node, node_v2, "right"))
+                )
+
+
+class TestFalsePositiveConservatism:
+    """The conservatism hypothesis originally discovered here: an integer
+    payload that happens to equal a live address is indistinguishable from
+    a hidden pointer, so its container becomes nonupdatable (paper §6:
+    accuracy problems "result only in a larger number of immutable
+    objects that MCR cannot automatically type-transform")."""
+
+    def test_value_colliding_with_address_pins_node(self):
+        import pytest as _pytest
+
+        from repro.errors import ConflictError
+        from repro.mem.address_space import DATA_BASE
+        from repro.types.descriptors import INT32
+
+        node_v2 = StructType(
+            "gnode",
+            [
+                ("value", INT64),
+                ("generation", INT32),
+                ("left", PointerType(None, name="gnode*")),
+                ("right", PointerType(None, name="gnode*")),
+            ],
+        )
+        kernel = Kernel()
+        program_v1 = make_test_program(_globals(), types={"gnode": NODE}, version="1")
+        _k, _s, old = boot_test_program(program_v1, kernel=kernel)
+        globals_v2 = [
+            GlobalVar(f"h{i}", PointerType(node_v2, name="gnode*"))
+            for i in range(HEAD_COUNT)
+        ]
+        program_v2 = make_test_program(globals_v2, types={"gnode": node_v2}, version="2")
+        _k, _s, new = boot_test_program(program_v2, kernel=kernel)
+        node = old.crt.malloc_typed(old.threads[1], NODE)
+        old.crt.set(node, NODE, "value", DATA_BASE)  # int == a live address
+        for slot in range(HEAD_COUNT):
+            old.crt.gset(f"h{slot}", node)
+        # Same-type transfer is fine (the node just cannot be relocated)...
+        # ...but the type GROWTH conflicts: the node is nonupdatable.
+        with _pytest.raises(ConflictError):
+            StateTransfer(old, new, program_v2).run()

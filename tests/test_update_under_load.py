@@ -1,0 +1,100 @@
+"""Updates under live traffic: no request may be lost or corrupted.
+
+The headline promise — "deploying software updates without stopping
+running programs or disrupt their state" — means a benchmark fired at the
+server must complete with zero errors even when a live update (or a
+rollback!) lands in the middle of it.  The controller drives the same
+simulated world, so in-flight clients keep running during quiescence,
+control migration, and transfer; they just observe a pause.
+"""
+
+import pytest
+
+from repro.bench.harness import boot_server
+from repro.mcr.ctl import McrCtl
+from repro.workloads.ab import ApacheBench
+from repro.workloads.ftpbench import FtpBench
+from repro.workloads.sshsuite import SshSuite
+
+
+def _run_with_midway_update(
+    world, workload, make_new_program, expect_commit=True, warm_fraction=0.3
+):
+    kernel = world.kernel
+    clients = workload(kernel)
+    # Let roughly a third of the traffic through before updating.
+    threshold = max(1, int(getattr(workload, "requests", 12) * warm_fraction))
+    kernel.run(
+        until=lambda: workload.completed >= threshold, max_steps=2_000_000
+    )
+    assert not all(c.exited for c in clients), "workload finished too early"
+    ctl = McrCtl(kernel, world.session)
+    result = ctl.live_update(make_new_program())
+    assert result.committed == expect_commit, result.error
+    kernel.run(
+        until=lambda: all(c.exited for c in clients), max_steps=8_000_000
+    )
+    assert all(c.exited for c in clients)
+    return result
+
+
+class TestUpdateUnderLoad:
+    def test_nginx_ab_survives_update(self):
+        world = boot_server("nginx")
+        bench = ApacheBench(8081, requests=120, concurrency=4)
+        from repro.servers import nginx
+
+        _run_with_midway_update(world, bench, lambda: nginx.make_program(2))
+        assert bench.errors == 0
+        assert bench.completed == 120
+
+    def test_httpd_ab_survives_update(self):
+        world = boot_server("httpd")
+        bench = ApacheBench(80, requests=120, concurrency=4)
+        from repro.servers import httpd
+
+        _run_with_midway_update(world, bench, lambda: httpd.make_program(2))
+        assert bench.errors == 0
+        assert bench.completed == 120
+
+    def test_vsftpd_users_survive_update(self):
+        world = boot_server("vsftpd")
+        bench = FtpBench(users=6, retrievals=2)
+        from repro.servers import vsftpd
+
+        _run_with_midway_update(world, bench, lambda: vsftpd.make_program(2))
+        assert bench.errors == 0
+        assert bench.completed == 12
+
+    def test_sshd_suite_survives_update(self):
+        world = boot_server("opensshd")
+        suite = SshSuite(sessions=4, commands=3)
+        from repro.servers import opensshd
+
+        _run_with_midway_update(world, suite, lambda: opensshd.make_program(2))
+        assert suite.errors == 0
+        assert suite.completed == 12
+
+    def test_nginx_ab_survives_rollback(self):
+        """Even a FAILED update mid-benchmark must be invisible."""
+        world = boot_server("nginx")
+        bench = ApacheBench(8081, requests=120, concurrency=4)
+        from repro.servers import nginx
+
+        # Poison the config so replay conflicts and rolls back.
+        world.kernel.fs.create("/etc/nginx.conf", b"port=9999\nroot=/srv/www\n")
+        _run_with_midway_update(
+            world, bench, lambda: nginx.make_program(2), expect_commit=False
+        )
+        assert bench.errors == 0
+        assert bench.completed == 120
+
+    def test_type_changing_update_under_load(self):
+        """The Figure-2-style layout change, mid-benchmark."""
+        world = boot_server("nginx")
+        bench = ApacheBench(8081, requests=120, concurrency=4)
+        from repro.servers import nginx
+
+        _run_with_midway_update(world, bench, lambda: nginx.make_program(3))
+        assert bench.errors == 0
+        assert bench.completed == 120

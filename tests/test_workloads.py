@@ -1,0 +1,96 @@
+"""Tests for the workload drivers (AB, FTP bench, SSH suite, holders)."""
+
+import pytest
+
+from repro.bench.harness import boot_server
+from repro.workloads.ab import ApacheBench
+from repro.workloads.ftpbench import FtpBench
+from repro.workloads.holders import ConnectionHolder
+from repro.workloads.sshsuite import SshSuite
+
+
+class TestApacheBench:
+    def test_completes_all_requests(self):
+        world = boot_server("nginx")
+        bench = ApacheBench(8081, requests=40, concurrency=4)
+        elapsed_ns = bench.run(world.kernel)
+        assert bench.completed == 40
+        assert bench.errors == 0
+        assert elapsed_ns > 0
+        assert len(bench.latencies_ns) == 40
+
+    def test_latencies_positive(self):
+        world = boot_server("httpd")
+        bench = ApacheBench(80, requests=20, concurrency=2)
+        bench.run(world.kernel)
+        assert all(latency > 0 for latency in bench.latencies_ns)
+
+    def test_connection_refused_counts_errors(self, kernel):
+        bench = ApacheBench(5999, requests=10, concurrency=2)
+        bench.run(kernel, max_steps=200_000)
+        assert bench.errors > 0 and bench.completed == 0
+
+
+class TestFtpBench:
+    def test_all_users_complete(self):
+        world = boot_server("vsftpd")
+        bench = FtpBench(users=4, retrievals=2)
+        bench.run(world.kernel)
+        assert bench.completed == 8
+        assert bench.errors == 0
+
+    def test_sessions_forked_per_user(self):
+        world = boot_server("vsftpd")
+        bench = FtpBench(users=3, retrievals=1)
+        bench.run(world.kernel)
+        sessions = [
+            p for p in world.kernel.processes.values() if p.name == "vsftpd-session"
+        ]
+        assert len(sessions) == 3
+
+
+class TestSshSuite:
+    def test_all_sessions_complete(self):
+        world = boot_server("opensshd")
+        suite = SshSuite(sessions=3, commands=2)
+        suite.run(world.kernel)
+        assert suite.completed == 6
+        assert suite.errors == 0
+
+    def test_helpers_exec_and_exit(self):
+        world = boot_server("opensshd")
+        suite = SshSuite(sessions=2, commands=1)
+        suite.run(world.kernel)
+        helpers = [
+            p for p in world.kernel.processes.values() if p.name == "ssh-helper"
+        ]
+        assert helpers and all(p.exited for p in helpers)
+
+
+class TestConnectionHolder:
+    @pytest.mark.parametrize("server,kind", [
+        ("nginx", "http"), ("vsftpd", "ftp"), ("opensshd", "ssh"),
+    ])
+    def test_establish_and_release(self, server, kind):
+        world = boot_server(server)
+        holder = ConnectionHolder(world.port, 3, kind)
+        holder.establish(world.kernel)
+        assert holder.ready == 3 and holder.errors == 0
+        holder.finish(world.kernel)
+        assert all(c.exited for c in holder.clients)
+
+    def test_ftp_holders_fork_sessions(self):
+        world = boot_server("vsftpd")
+        holder = ConnectionHolder(21, 2, "ftp")
+        holder.establish(world.kernel)
+        live_sessions = [
+            p
+            for p in world.session.root_process.tree()
+            if p.name == "vsftpd-session"
+        ]
+        assert len(live_sessions) == 2
+        holder.finish(world.kernel)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionHolder(80, 1, "gopher")
