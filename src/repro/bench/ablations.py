@@ -18,10 +18,11 @@ what it buys:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.bench.harness import SERVER_BENCHES, boot_server
 from repro.bench.reporting import render_table
+from repro.clock import ns_to_ms
 from repro.mcr.config import MCRConfig
 from repro.mcr.controller import LiveUpdateController
 from repro.mcr.tracing.graph import GraphBuilder
@@ -72,11 +73,11 @@ def ablate_dirty_tracking(server: str = "vsftpd", connections: int = 8) -> Dict[
     )
     return {
         "work_speedup": work_without / max(work_with, 1),
-        "with_ms": with_filter.transfer_ns / 1e6,
-        "without_ms": without_filter.transfer_ns / 1e6,
+        "with_ms": ns_to_ms(with_filter.transfer_ns),
+        "without_ms": ns_to_ms(without_filter.transfer_ns),
         "speedup": without_filter.transfer_ns / with_filter.transfer_ns,
-        "serial_with_ms": serial_with / 1e6,
-        "serial_without_ms": serial_without / 1e6,
+        "serial_with_ms": ns_to_ms(serial_with),
+        "serial_without_ms": ns_to_ms(serial_without),
         "serial_speedup": serial_without / serial_with,
         "objects_with": sum(
             s.objects_transferred for s in with_filter.transfer_report.per_process
@@ -96,8 +97,8 @@ def ablate_parallel_transfer(server: str = "vsftpd", connections: int = 8) -> Di
     cost = TransferCostModel()
     serial_ns = report.serial_total_ns(cost)
     return {
-        "parallel_ms": report.total_ns / 1e6,
-        "serial_ms": serial_ns / 1e6,
+        "parallel_ms": ns_to_ms(report.total_ns),
+        "serial_ms": ns_to_ms(serial_ns),
         "speedup": serial_ns / report.total_ns,
         "processes": len(report.per_process),
     }
@@ -153,11 +154,23 @@ def ablate_interior_only(server: str = "httpd") -> Dict[str, int]:
     return counts
 
 
-def render_all() -> str:
-    dirty = ablate_dirty_tracking()
-    parallel = ablate_parallel_transfer()
-    int64 = ablate_int64_policy()
-    interior = ablate_interior_only()
+def run_all() -> Dict[str, Dict]:
+    """Run every ablation; one JSON-exportable mapping."""
+    return {
+        "dirty_tracking": ablate_dirty_tracking(),
+        "parallel_transfer": ablate_parallel_transfer(),
+        "int64_policy": ablate_int64_policy(),
+        "interior_only": ablate_interior_only(),
+    }
+
+
+def render_all(results: Optional[Dict[str, Dict]] = None) -> str:
+    if results is None:
+        results = run_all()
+    dirty = results["dirty_tracking"]
+    parallel = results["parallel_transfer"]
+    int64 = results["int64_policy"]
+    interior = results["interior_only"]
     rows = [
         ["dirty tracking (vsftpd, 8 conns)",
          f"{dirty['serial_with_ms']:.1f}ms serial / {dirty['objects_with']} objs",

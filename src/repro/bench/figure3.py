@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import SERVER_BENCHES, boot_server
 from repro.bench.reporting import render_table
+from repro.clock import ns_to_ms
 from repro.mcr.ctl import McrCtl
 from repro.workloads.holders import ConnectionHolder
 
@@ -41,6 +42,17 @@ class Figure3Point:
         self.committed = False
         self.error: Optional[str] = None
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "server": self.server,
+            "connections": self.connections,
+            "transfer_ms": self.transfer_ms,
+            "total_update_ms": self.total_update_ms,
+            "dirty_reduction": self.dirty_reduction,
+            "committed": self.committed,
+            "error": self.error,
+        }
+
 
 def measure_point(server: str, connections: int, to_version: int = 2) -> Figure3Point:
     point = Figure3Point(server, connections)
@@ -62,7 +74,7 @@ def measure_point(server: str, connections: int, to_version: int = 2) -> Figure3
     if not result.committed:
         point.error = str(result.error)
         return point
-    point.transfer_ms = result.transfer_ns / 1e6
+    point.transfer_ms = ns_to_ms(result.transfer_ns)
     point.total_update_ms = result.total_ms()
     if result.transfer_report is not None:
         point.dirty_reduction = result.transfer_report.aggregate_reduction()

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence
 
+from repro.clock import fmt_value as _fmt
+
 
 def render_table(
     title: str,
@@ -23,12 +25,6 @@ def render_table(
         lines.append("")
         lines.append(note)
     return "\n".join(lines)
-
-
-def _fmt(value: Any) -> str:
-    if isinstance(value, float):
-        return f"{value:.3f}"
-    return str(value)
 
 
 def paper_vs_measured(paper: Dict[str, Any], measured: Dict[str, Any]) -> List[List[Any]]:

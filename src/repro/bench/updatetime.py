@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.bench.harness import SERVER_BENCHES, boot_server
 from repro.bench.reporting import render_table
+from repro.clock import ns_to_ms
 from repro.mcr.ctl import McrCtl
 
 
@@ -39,7 +40,7 @@ def measure_quiescence_under_load(name: str) -> Dict[str, float]:
     loaded_ns = session.quiescence.wait(session.root_process)
     session.quiescence.release()
     world.kernel.run(until=lambda: all(c.exited for c in clients), max_steps=5_000_000)
-    return {"idle_ms": idle_ns / 1e6, "loaded_ms": loaded_ns / 1e6}
+    return {"idle_ms": ns_to_ms(idle_ns), "loaded_ms": ns_to_ms(loaded_ns)}
 
 
 def measure_update_components(name: str, to_version: int = 2) -> Dict[str, float]:
@@ -53,13 +54,13 @@ def measure_update_components(name: str, to_version: int = 2) -> Dict[str, float
         raise RuntimeError(f"{name}: update failed: {result.error}")
     replay_startup_ns = result.new_session.startup_duration_ns() or 0
     return {
-        "quiescence_ms": result.quiescence_ns / 1e6,
-        "control_migration_ms": result.control_migration_ns / 1e6,
-        "restore_ms": result.restore_ns / 1e6,
-        "transfer_ms": result.transfer_ns / 1e6,
+        "quiescence_ms": ns_to_ms(result.quiescence_ns),
+        "control_migration_ms": ns_to_ms(result.control_migration_ns),
+        "restore_ms": ns_to_ms(result.restore_ns),
+        "transfer_ms": ns_to_ms(result.transfer_ns),
         "total_ms": result.total_ms(),
-        "v1_startup_ms": startup_ns / 1e6,
-        "replay_startup_ms": replay_startup_ns / 1e6,
+        "v1_startup_ms": ns_to_ms(startup_ns),
+        "replay_startup_ms": ns_to_ms(replay_startup_ns),
         "replay_overhead": replay_startup_ns / startup_ns - 1,
     }
 

@@ -8,7 +8,11 @@ Commands:
   per-thread report (default: all four evaluation servers).
 * ``bench <experiment>``     — regenerate one paper table/figure
   (table1, table2, table3, figure3, spec, memusage, updatetime,
-  ablations, or ``all``).
+  ablations, or ``all``); ``--json`` also writes
+  ``BENCH_<experiment>.json`` through ``repro.obs.export``.
+* ``trace [server]``         — live-update a server under an installed
+  observability collector and print the span tree + counters;
+  ``--export FILE`` writes a Chrome ``trace_event`` JSON (Perfetto).
 * ``status [server]``        — boot a server and print ``mcr-ctl status``.
 """
 
@@ -45,25 +49,30 @@ def _boot(name: str):
     return kernel, module, program, session
 
 
-def cmd_demo(args) -> int:
-    from repro.mcr.ctl import McrCtl
-    from repro.mcr.diagnostics import describe_update
+def _demo_workload(name: str, port: int):
+    """A small deterministic workload for demo/trace runs."""
     from repro.workloads.ab import ApacheBench
     from repro.workloads.ftpbench import FtpBench
     from repro.workloads.sshsuite import SshSuite
+
+    if name in ("simple", "httpd", "nginx", "memcache"):
+        paths = {"simple": "sum", "memcache": "anykey"}
+        return ApacheBench(port, requests=40, concurrency=2,
+                           path=paths.get(name, "/index.html"))
+    if name == "vsftpd":
+        return FtpBench(port, users=3, retrievals=1)
+    return SshSuite(port, sessions=3, commands=2)
+
+
+def cmd_demo(args) -> int:
+    from repro.mcr.ctl import McrCtl
+    from repro.mcr.diagnostics import describe_update
 
     name = args.server
     kernel, module, program, session = _boot(name)
     port = program.metadata.get("port")
     print(f"{name} v1 running on simulated port {port}")
-    if name in ("simple", "httpd", "nginx", "memcache"):
-        paths = {"simple": "sum", "memcache": "anykey"}
-        workload = ApacheBench(port, requests=40, concurrency=2,
-                               path=paths.get(name, "/index.html"))
-    elif name == "vsftpd":
-        workload = FtpBench(port, users=3, retrievals=1)
-    else:
-        workload = SshSuite(port, sessions=3, commands=2)
+    workload = _demo_workload(name, port)
     workload.run(kernel)
     print(f"workload done: {workload.completed} ops, {workload.errors} errors")
     ctl = McrCtl(kernel, session)
@@ -101,41 +110,128 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _bench_table1():
+    from repro.bench.table1 import render, run_table1
+
+    results = run_table1()
+    return results, render(results)
+
+
+def _bench_table2():
+    from repro.bench.table2 import render, run_table2
+
+    results = run_table2()
+    return results, render(results)
+
+
+def _bench_table3():
+    from repro.bench.table3 import render, run_table3
+
+    results = run_table3()
+    return results, render(results)
+
+
+def _bench_figure3():
+    from repro.bench.figure3 import render, run_figure3
+
+    results = run_figure3(connection_counts=(0, 5, 10, 20))
+    payload = {s: [p.to_dict() for p in points] for s, points in results.items()}
+    return payload, render(results)
+
+
+def _bench_spec():
+    from repro.bench.spec2006 import render, run_spec
+
+    results = run_spec()
+    return results, render(results)
+
+
+def _bench_memusage():
+    from repro.bench.memusage import render, run_memusage
+
+    results = run_memusage()
+    return results, render(results)
+
+
+def _bench_updatetime():
+    from repro.bench.updatetime import render, run_updatetime
+
+    results = run_updatetime()
+    return results, render(results)
+
+
+def _bench_ablations():
+    from repro.bench.ablations import render_all, run_all
+
+    results = run_all()
+    return results, render_all(results)
+
+
+# Experiment name -> callable returning (json-serializable results, text).
+BENCH_EXPERIMENTS = {
+    "table1": _bench_table1,
+    "table2": _bench_table2,
+    "table3": _bench_table3,
+    "figure3": _bench_figure3,
+    "spec": _bench_spec,
+    "memusage": _bench_memusage,
+    "updatetime": _bench_updatetime,
+    "ablations": _bench_ablations,
+}
+
+
 def cmd_bench(args) -> int:
-    name = args.experiment
-    if name in ("table1", "all"):
-        from repro.bench.table1 import render, run_table1
+    names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        results, text = BENCH_EXPERIMENTS[name]()
+        print(text, end="\n\n")
+        if args.json:
+            from repro.obs.export import write_json
 
-        print(render(run_table1()), end="\n\n")
-    if name in ("table2", "all"):
-        from repro.bench.table2 import render, run_table2
-
-        print(render(run_table2()), end="\n\n")
-    if name in ("table3", "all"):
-        from repro.bench.table3 import render, run_table3
-
-        print(render(run_table3()), end="\n\n")
-    if name in ("figure3", "all"):
-        from repro.bench.figure3 import render, run_figure3
-
-        print(render(run_figure3(connection_counts=(0, 5, 10, 20))), end="\n\n")
-    if name in ("spec", "all"):
-        from repro.bench.spec2006 import render, run_spec
-
-        print(render(run_spec()), end="\n\n")
-    if name in ("memusage", "all"):
-        from repro.bench.memusage import render, run_memusage
-
-        print(render(run_memusage()), end="\n\n")
-    if name in ("updatetime", "all"):
-        from repro.bench.updatetime import render, run_updatetime
-
-        print(render(run_updatetime()), end="\n\n")
-    if name in ("ablations", "all"):
-        from repro.bench.ablations import render_all
-
-        print(render_all(), end="\n\n")
+            path = f"BENCH_{name}.json"
+            write_json(path, {"experiment": name, "results": results})
+            print(f"wrote {path}")
     return 0
+
+
+def cmd_trace(args) -> int:
+    from repro import obs
+    from repro.mcr.ctl import McrCtl
+    from repro.obs.export import chrome_trace, write_json
+    from repro.obs.spans import render_tree
+
+    name = args.server
+    kernel, module, program, session = _boot(name)
+    port = program.metadata.get("port")
+    ctl = McrCtl(kernel, session)
+    with obs.collecting(kernel.clock) as collector:
+        _demo_workload(name, port).run(kernel)
+        result = ctl.live_update(module.make_program(2))
+    status = "committed" if result.committed else "ROLLED BACK"
+    print(f"{name}: update {status} in {result.total_ms():.2f} ms")
+    if result.spans is not None:
+        print()
+        print(render_tree(result.spans))
+    counters = collector.counters.snapshot()
+    print()
+    print(f"counters ({len(counters)}):")
+    for key, value in counters.items():
+        print(f"  {key:<32} {value}")
+    print()
+    print(
+        f"events: {collector.events.emitted} emitted, "
+        f"{collector.events.dropped} dropped"
+    )
+    if args.export:
+        try:
+            write_json(
+                args.export, chrome_trace(collector, process_name=f"repro:{name}")
+            )
+        except OSError as error:
+            print(f"cannot write {args.export}: {error}", file=_host_sys.stderr)
+            return 1
+        print(f"wrote {args.export}")
+    return 0 if result.committed else 1
 
 
 def cmd_status(args) -> int:
@@ -168,7 +264,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["table1", "table2", "table3", "figure3", "spec",
                  "memusage", "updatetime", "ablations", "all"],
     )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="also write BENCH_<experiment>.json for each experiment",
+    )
     bench.set_defaults(fn=cmd_bench)
+
+    trace = subparsers.add_parser(
+        "trace", help="live-update under a collector; print spans + counters"
+    )
+    trace.add_argument("server", nargs="?", default="simple", choices=SERVERS)
+    trace.add_argument(
+        "--export",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace_event JSON (open in Perfetto)",
+    )
+    trace.set_defaults(fn=cmd_trace)
 
     status = subparsers.add_parser("status", help="mcr-ctl status of a server")
     status.add_argument("server", nargs="?", default="simple", choices=SERVERS)

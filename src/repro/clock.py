@@ -19,6 +19,23 @@ NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
 
 
+def ns_to_ms(ns: int) -> float:
+    """Canonical ns -> ms conversion (the one place, not ad-hoc ``/ 1e6``)."""
+    return ns / NS_PER_MS
+
+
+def fmt_ms(ns: int, digits: int = 2) -> str:
+    """Render a nanosecond duration as ``'12.34 ms'``."""
+    return f"{ns / NS_PER_MS:.{digits}f} ms"
+
+
+def fmt_value(value) -> str:
+    """Format one table/report cell: floats to 3 decimals, rest verbatim."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
 class VirtualClock:
     """Monotonic, manually-advanced nanosecond clock."""
 
@@ -31,7 +48,7 @@ class VirtualClock:
 
     @property
     def now_ms(self) -> float:
-        return self._now_ns / NS_PER_MS
+        return ns_to_ms(self._now_ns)
 
     def advance(self, delta_ns: int) -> int:
         """Advance the clock by ``delta_ns`` and return the new time."""
@@ -62,7 +79,7 @@ class StopWatch:
         return self._clock.elapsed_since(self._start_ns)
 
     def elapsed_ms(self) -> float:
-        return self.elapsed_ns() / NS_PER_MS
+        return ns_to_ms(self.elapsed_ns())
 
     def restart(self) -> None:
         self._start_ns = self._clock.now_ns

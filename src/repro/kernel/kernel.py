@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.clock import VirtualClock
 from repro.errors import SimError
 from repro.kernel.files import SimFileSystem
@@ -317,6 +318,9 @@ class Kernel:
     def _step(self, thread: Thread) -> None:
         self.steps_executed += 1
         self.clock.advance(self.config.step_cost_ns)
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("kernel.steps")
         try:
             if thread.pending_exception is not None:
                 exc = thread.pending_exception
@@ -345,6 +349,15 @@ class Kernel:
             return
         self._charge_faults(thread.process)
         if isinstance(result, Blocked):
+            collector = obs.ACTIVE
+            if collector is not None:
+                collector.counters.incr("sched.blocks")
+                collector.events.emit(
+                    "sched.block",
+                    severity="debug",
+                    thread=f"{thread.process.name}:{thread.name}",
+                    reason=result.reason,
+                )
             thread.state = BLOCKED
             thread.wait_ready = result.ready
             thread.blocked_on = result.reason
@@ -388,6 +401,18 @@ class Kernel:
         site = f"{thread.top_function()}:{thread.blocked_on.split(':')[0]}"
         elapsed = self.clock.now_ns - getattr(thread, "block_started_ns", self.clock.now_ns)
         thread.blocking_time_ns[site] = thread.blocking_time_ns.get(site, 0) + elapsed
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("sched.wakes")
+            if value is TIMEOUT:
+                collector.counters.incr("sched.wake_timeouts")
+            collector.events.emit(
+                "sched.wake",
+                severity="debug",
+                thread=f"{thread.process.name}:{thread.name}",
+                site=site,
+                blocked_ns=elapsed,
+            )
         self._blocked.remove(thread)
         thread.state = RUNNABLE
         thread.wait_ready = None
@@ -411,6 +436,14 @@ class Kernel:
             return False
         target = min(deadlines)
         if target > self.clock.now_ns:
+            collector = obs.ACTIVE
+            if collector is not None:
+                collector.counters.incr("sched.clock_jumps")
+                collector.events.emit(
+                    "sched.clock_jump",
+                    severity="debug",
+                    jump_ns=target - self.clock.now_ns,
+                )
             self.clock.advance(target - self.clock.now_ns)
         return True
 

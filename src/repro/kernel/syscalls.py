@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
+from repro import obs
 from repro.errors import BadFileDescriptor, SimError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -138,6 +139,10 @@ class SyscallTable:
         handler = self._handlers.get(request.name)
         if handler is None:
             raise SimError(f"unknown syscall: {request.name}")
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("syscall." + request.name)
+            collector.counters.incr("syscall.total")
         return handler(thread, **request.args)
 
     def cost_of(self, name: str) -> int:

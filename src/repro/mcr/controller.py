@@ -26,6 +26,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro import obs
+from repro.clock import ns_to_ms
+from repro.obs.spans import STATUS_ERROR, STATUS_OK
 from repro.errors import ConflictError, MCRError, SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.namespaces import PidNamespace
@@ -107,7 +110,25 @@ class RestoreContext:
 
 
 class UpdateResult:
-    """Outcome and timing breakdown of one update attempt."""
+    """Outcome and timing breakdown of one update attempt.
+
+    The phase ``*_ns`` fields are not kept by stopwatch bookkeeping: the
+    controller records its work as a span tree (``repro.obs.spans``) and
+    ``finalize_from_spans`` derives every duration from it, so the
+    breakdown the CLI/benchmarks print is exactly what a trace export
+    shows.  ``spans`` holds the root ``update`` span of that tree.
+    """
+
+    # Root-child span names that contribute to each derived phase field.
+    _PHASE_SPANS = {
+        "quiescence_ns": ("quiescence",),
+        # The paper's "control migration" interval runs from the moment the
+        # new version is exec'd to the moment its threads park at the
+        # barrier, so it covers both the restart and the migration span.
+        "control_migration_ns": ("restart", "control-migration"),
+        "restore_ns": ("restore",),
+        "transfer_ns": ("transfer",),
+    }
 
     def __init__(self) -> None:
         self.committed = False
@@ -118,12 +139,42 @@ class UpdateResult:
         self.restore_ns = 0
         self.transfer_ns = 0
         self.total_ns = 0
+        self.spans: Optional[obs.Span] = None
         self.transfer_report: Optional[TransferReport] = None
         self.new_root: Optional[Process] = None
         self.new_session: Optional[MCRSession] = None
 
     def total_ms(self) -> float:
-        return self.total_ns / 1_000_000
+        return ns_to_ms(self.total_ns)
+
+    def phase_sum_ns(self) -> int:
+        return (
+            self.quiescence_ns
+            + self.control_migration_ns
+            + self.restore_ns
+            + self.transfer_ns
+        )
+
+    def finalize_from_spans(self, root: "obs.Span") -> None:
+        """Derive every timing field from the recorded span tree.
+
+        On rollback the tree simply lacks the phases that never ran (or
+        carries partially-elapsed error spans), so the same derivation
+        yields the correct partial breakdown.
+        """
+        self.spans = root
+        self.total_ns = root.duration_ns
+        by_name = {child.name: child for child in root.children}
+        for field, span_names in self._PHASE_SPANS.items():
+            setattr(
+                self,
+                field,
+                sum(by_name[n].duration_ns for n in span_names if n in by_name),
+            )
+        assert self.phase_sum_ns() <= self.total_ns, (
+            f"phase spans ({self.phase_sum_ns()}ns) exceed the update span "
+            f"({self.total_ns}ns)"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "committed" if self.committed else f"rolled back ({self.error})"
@@ -160,51 +211,74 @@ class LiveUpdateController:
     def run_update(self) -> UpdateResult:
         result = UpdateResult()
         clock = self.kernel.clock
-        start_ns = clock.now_ns
+        recorder = obs.recorder_for(clock)
         new_root: Optional[Process] = None
+        root = recorder.begin(
+            "update",
+            program=self.new_program.name,
+            to_version=self.new_program.version,
+        )
         try:
             # 1. Checkpoint: quiesce the old version.
-            self.old_session.quiescence.request()
-            result.quiescence_ns = self.old_session.quiescence.wait(self.old_root)
+            with recorder.span("quiescence"):
+                self.old_session.quiescence.request()
+                self.old_session.quiescence.wait(self.old_root)
             # 2. Offline analysis -> immutable set + realloc plan.
-            plan = self._offline_analysis()
+            with recorder.span("offline-analysis"):
+                plan = self._offline_analysis()
             # 3. Restart the new version under replay.
-            t_restart = clock.now_ns
-            new_root = self._restart(plan)
-            result.new_root = new_root
-            self._run_control_migration(new_root)
-            result.control_migration_ns = clock.now_ns - t_restart
+            with recorder.span("restart"):
+                new_root = self._restart(plan)
+                result.new_root = new_root
+            with recorder.span("control-migration"):
+                self._run_control_migration(new_root)
             # 4. Volatile state + post-startup descriptor restore.  The
             # handlers only *create* counterpart processes/threads; their
             # descriptors are restored before any of them runs, then the
             # whole new tree is driven back to the barrier.
-            t_restore = clock.now_ns
-            self._run_post_startup_handlers(new_root)
-            self._restore_runtime_fds(new_root)
-            self._converge_volatile(new_root)
-            result.restore_ns = clock.now_ns - t_restore
+            with recorder.span("restore"):
+                self._run_post_startup_handlers(new_root)
+                self._restore_runtime_fds(new_root)
+                self._converge_volatile(new_root)
             # 5. Remap: mutable tracing state transfer.
-            transfer = StateTransfer(
-                self.old_root,
-                new_root,
-                self.new_program,
-                self.config,
-                self.cost,
-                use_dirty_filter=self.use_dirty_filter,
-            )
-            report = transfer.run()
-            result.transfer_report = report
-            result.transfer_ns = report.total_ns
-            clock.advance(report.total_ns)  # clients wait out the transfer
+            with recorder.span("transfer") as transfer_span:
+                transfer = StateTransfer(
+                    self.old_root,
+                    new_root,
+                    self.new_program,
+                    self.config,
+                    self.cost,
+                    use_dirty_filter=self.use_dirty_filter,
+                )
+                report = transfer.run()
+                result.transfer_report = report
+                transfer_span.attrs["objects_transferred"] = sum(
+                    s.objects_transferred for s in report.per_process
+                )
+                clock.advance(report.total_ns)  # clients wait out the transfer
             # 6. Commit.
-            self._commit(new_root)
+            with recorder.span("commit"):
+                self._commit(new_root)
             result.committed = True
             result.new_session = self.new_session
+            recorder.end(root, status=STATUS_OK)
         except (MCRError, SimError, ConflictError) as error:
-            self._rollback(new_root)
+            with recorder.span("rollback", reason=str(error)):
+                self._rollback(new_root)
             result.rolled_back = True
             result.error = error
-        result.total_ns = clock.now_ns - start_ns
+            recorder.end(root, status="rolled_back")
+        finally:
+            # Never leave the shared recorder with a dangling open root.
+            if not root.closed:
+                recorder.end(root, status=STATUS_ERROR)
+        result.finalize_from_spans(root)
+        obs.emit(
+            "update.finished",
+            severity="info" if result.committed else "warn",
+            committed=result.committed,
+            total_ns=result.total_ns,
+        )
         return result
 
     # -- stages ------------------------------------------------------------------

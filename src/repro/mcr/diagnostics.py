@@ -18,10 +18,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.clock import ns_to_ms
 from repro.errors import ConflictError, QuiescenceTimeout
 from repro.kernel.process import Process
 from repro.mcr.tracing.graph import GraphBuilder, TraceResult
 from repro.mcr.tracing.invariants import apply_invariants, invariant_counts
+from repro.obs.spans import render_tree
 
 
 def describe_trace(trace: TraceResult, top: int = 5) -> str:
@@ -136,11 +138,17 @@ def describe_update(result) -> str:
     lines = ["live update report", "=" * 19]
     status = "COMMITTED" if result.committed else "ROLLED BACK"
     lines.append(f"status: {status}")
-    lines.append(f"quiescence:        {result.quiescence_ns / 1e6:8.2f} ms")
-    lines.append(f"control migration: {result.control_migration_ns / 1e6:8.2f} ms")
-    lines.append(f"volatile restore:  {result.restore_ns / 1e6:8.2f} ms")
-    lines.append(f"state transfer:    {result.transfer_ns / 1e6:8.2f} ms")
-    lines.append(f"total:             {result.total_ns / 1e6:8.2f} ms")
+    lines.append(f"quiescence:        {ns_to_ms(result.quiescence_ns):8.2f} ms")
+    lines.append(f"control migration: {ns_to_ms(result.control_migration_ns):8.2f} ms")
+    lines.append(f"volatile restore:  {ns_to_ms(result.restore_ns):8.2f} ms")
+    lines.append(f"state transfer:    {ns_to_ms(result.transfer_ns):8.2f} ms")
+    lines.append(f"total:             {ns_to_ms(result.total_ns):8.2f} ms")
+    if result.spans is not None:
+        # The breakdown above is *derived from* this tree, so the two
+        # views can never disagree.
+        lines.append("")
+        lines.append("phase timeline:")
+        lines.extend("  " + line for line in render_tree(result.spans).splitlines())
     report = result.transfer_report
     if report is not None:
         lines.append("")

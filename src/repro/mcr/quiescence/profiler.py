@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set
 
+from repro import obs
 from repro.errors import ProfilerError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import EXITED, Process, Thread
@@ -135,6 +136,14 @@ class QuiescenceProfiler:
                         "the test workload does not stall it"
                     )
             report.add_class(cls)
+            obs.incr(f"quiescence.classes.{cls.kind}")
+            obs.incr("quiescence.threads_profiled", cls.count)
+        obs.emit(
+            "quiescence.profiled",
+            program=program.name,
+            classes=len(classes),
+            long_lived=sum(1 for c in classes.values() if c.kind == "long"),
+        )
         return report
 
     def _merge_thread_stats(self, cls: ThreadClass, thread: Thread) -> None:

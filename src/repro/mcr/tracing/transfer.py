@@ -28,6 +28,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import obs
+from repro.clock import ns_to_ms
 from repro.errors import ConflictError, StateTransferError
 from repro.kernel.process import Process
 from repro.mcr.config import MCRConfig, TransferCostModel
@@ -86,7 +88,32 @@ class TransferReport:
         self.conflicts: List[str] = []
 
     def total_ms(self) -> float:
-        return self.total_ns / 1_000_000
+        return ns_to_ms(self.total_ns)
+
+    # Publishes through ``obs`` under "transfer.<field>".
+    _PUBLISHED_FIELDS = (
+        "objects_traced",
+        "objects_transferred",
+        "objects_skipped_clean",
+        "bytes_copied",
+        "pointers_fixed",
+        "transforms",
+        "words_scanned",
+        "pages_scanned",
+    )
+
+    def publish(self) -> None:
+        """Feed aggregate work-item counts into the active collector."""
+        collector = obs.ACTIVE
+        if collector is None:
+            return
+        for field in self._PUBLISHED_FIELDS:
+            collector.counters.incr(
+                "transfer." + field,
+                sum(getattr(s, field) for s in self.per_process),
+            )
+        collector.counters.incr("transfer.processes", len(self.per_process))
+        collector.counters.incr("transfer.conflicts", len(self.conflicts))
 
     def serial_total_ns(self, cost) -> int:
         """What the transfer would cost WITHOUT cross-process parallelism
@@ -185,6 +212,7 @@ class StateTransfer:
         total += len(pairs) * self.cost.process_channel_setup_ns
         total += max(process_work_ns) if process_work_ns else 0
         self.report.total_ns = total
+        self.report.publish()
         return self.report
 
     def pair_processes(self) -> List[Tuple[Process, Process]]:

@@ -29,6 +29,7 @@ from __future__ import annotations
 import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import AllocatorError, MemoryFault
 from repro.mem.address_space import AddressSpace, HEAP_BASE, Mapping
 
@@ -194,6 +195,9 @@ class PtMallocHeap:
             raise AllocatorError(
                 f"malloc_at target 0x{user_address:x} not free"
             )
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("alloc.malloc_at")
         return self._install_chunk(base, size, total, site_id)
 
     def reserve_range(self, address: int, size: int) -> None:
@@ -209,6 +213,10 @@ class PtMallocHeap:
                 f"cannot reserve [0x{address:x}, 0x{address + size:x}): not free"
             )
         self._reserved[address] = size
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("alloc.reserved_spans")
+            collector.counters.incr("alloc.reserved_bytes", size)
 
     def release_reserved(self, address: int) -> None:
         """Return a reserved superobject span to the free list."""
@@ -234,6 +242,9 @@ class PtMallocHeap:
             # Global separability: no startup-time address reuse.  The
             # chunk stays resident until end_startup() releases it.
             self._deferred_frees.append(user_address)
+            collector = obs.ACTIVE
+            if collector is not None:
+                collector.counters.incr("alloc.deferred_frees")
             return
         self._release(chunk)
 
@@ -293,6 +304,12 @@ class PtMallocHeap:
         self._write_header(chunk)
         self.malloc_count += 1
         self.bytes_allocated += size
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("alloc.mallocs")
+            collector.counters.incr("alloc.bytes", size)
+            if chunk.startup:
+                collector.counters.incr("alloc.startup_chunks")
         return chunk.user_base
 
     def _release(self, chunk: Chunk) -> None:
@@ -305,6 +322,9 @@ class PtMallocHeap:
         self._space.write_bytes(chunk.base, b"\x00" * chunk.total_size)
         self._free.add(chunk.base, chunk.base + chunk.total_size)
         self.free_count += 1
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("alloc.frees")
 
     def _write_header(self, chunk: Chunk) -> None:
         flags = FLAG_IN_USE | (FLAG_STARTUP if chunk.startup else 0)

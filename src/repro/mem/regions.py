@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
+from repro import obs
 from repro.errors import AllocatorError
 from repro.mem.ptmalloc import PtMallocHeap
 
@@ -86,6 +87,7 @@ class RegionAllocator:
             # Chain in memory: previous block's header points to this one.
             self._heap.space.write_word(self._regions[-1].base, base)
         self._regions.append(region)
+        obs.incr("alloc.region.blocks")
         return region
 
     def ensure_block(self) -> Region:
@@ -103,6 +105,7 @@ class RegionAllocator:
         """Bump-allocate ``size`` bytes; grows by whole blocks as needed."""
         if size <= 0:
             raise AllocatorError(f"region alloc of non-positive size {size}")
+        obs.incr("alloc.region.allocs")
         if size > self._block_size - BLOCK_HEADER_SIZE - 16:
             # Oversized allocations get a dedicated block (nginx "large");
             # the block carries the chain header plus alignment slack.
@@ -159,6 +162,7 @@ class SlabAllocator:
 
     def alloc(self, size: int) -> int:
         cls = self._size_class(size)
+        obs.incr("alloc.slab.allocs")
         free_slots = self._free_slots[cls]
         if free_slots:
             self.alloc_count += 1
@@ -181,6 +185,7 @@ class SlabAllocator:
         cls = self._size_class(size)
         self._free_slots[cls].append(address)
         self.free_count += 1
+        obs.incr("alloc.slab.frees")
 
     def slab_count(self) -> int:
         return sum(len(slabs) for slabs in self._slabs.values())

@@ -1,0 +1,128 @@
+"""``repro.obs`` — the unified observability spine.
+
+One ``Collector`` bundles the three recording surfaces over *virtual*
+time:
+
+* ``spans``    — nested phase timings (``repro.obs.spans``),
+* ``counters`` — named monotonic counters/gauges (``repro.obs.counters``),
+* ``events``   — a bounded ring-buffer event log (``repro.obs.events``),
+
+with exporters in ``repro.obs.export`` (plain JSON and Chrome
+``trace_event`` for Perfetto).
+
+Instrumentation is **always on but cheap**: hot paths (syscall dispatch,
+allocator operations, scheduler decisions) read the module-level
+``ACTIVE`` slot and do nothing when it is ``None``, which is the default.
+Nothing in this package ever advances the virtual clock, so enabling a
+collector changes no measured ratio — observability is free in virtual
+time by construction.
+
+Usage::
+
+    with obs.collecting(kernel.clock) as collector:
+        result = ctl.live_update(new_program)
+    export.write_json(path, export.chrome_trace(collector))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.clock import VirtualClock
+from repro.obs.counters import CounterSet
+from repro.obs.events import DEFAULT_CAPACITY, EventLog
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "ACTIVE",
+    "Collector",
+    "Span",
+    "SpanRecorder",
+    "collecting",
+    "emit",
+    "gauge",
+    "incr",
+    "install",
+    "recorder_for",
+    "uninstall",
+]
+
+
+class Collector:
+    """Spans + counters + events recorded against one virtual clock."""
+
+    def __init__(self, clock: VirtualClock, max_events: int = DEFAULT_CAPACITY) -> None:
+        self.clock = clock
+        self.spans = SpanRecorder(clock)
+        self.counters = CounterSet()
+        self.events = EventLog(clock, capacity=max_events)
+
+    def to_dict(self):
+        from repro.obs.export import collector_to_dict
+
+        return collector_to_dict(self)
+
+
+# The installed collector, or None (the no-op fast path).  Hot paths read
+# this attribute directly: ``if obs.ACTIVE is not None: ...``.
+ACTIVE: Optional[Collector] = None
+
+
+def install(collector: Collector) -> Optional[Collector]:
+    """Install ``collector`` globally; returns the one it displaced."""
+    global ACTIVE
+    previous, ACTIVE = ACTIVE, collector
+    return previous
+
+
+def uninstall() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def collecting(clock: VirtualClock, max_events: int = DEFAULT_CAPACITY) -> Iterator[Collector]:
+    """Install a fresh collector for the duration of the block."""
+    collector = Collector(clock, max_events=max_events)
+    previous = install(collector)
+    try:
+        yield collector
+    finally:
+        global ACTIVE
+        ACTIVE = previous
+
+
+def recorder_for(clock: VirtualClock) -> SpanRecorder:
+    """The active collector's span recorder, or a standalone one.
+
+    Span producers that must *always* record (the update controller
+    derives its timing breakdown from spans) use this: when a collector
+    is installed for the same clock they feed it, otherwise they get a
+    private recorder whose tree still reaches the caller.
+    """
+    collector = ACTIVE
+    if collector is not None and collector.clock is clock:
+        return collector.spans
+    return SpanRecorder(clock)
+
+
+# -- no-op-when-disabled conveniences (for non-hot call sites) ----------------
+
+
+def incr(name: str, delta: int = 1) -> None:
+    collector = ACTIVE
+    if collector is not None:
+        collector.counters.incr(name, delta)
+
+
+def gauge(name: str, value: Any) -> None:
+    collector = ACTIVE
+    if collector is not None:
+        collector.counters.gauge(name, value)
+
+
+def emit(name: str, severity: str = "info", **payload: Any) -> None:
+    collector = ACTIVE
+    if collector is not None:
+        collector.events.emit(name, severity=severity, **payload)

@@ -1,0 +1,77 @@
+"""A bounded ring-buffer event log with severities and payloads.
+
+Events are discrete occurrences — a scheduler decision, a rollback, the
+end of startup — stamped with virtual time.  The buffer is a fixed-size
+ring: emitting beyond capacity silently evicts the oldest events and
+counts them in ``dropped``, so an always-on emitter can never grow the
+log without bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List
+
+from repro.clock import VirtualClock
+
+SEVERITIES = ("debug", "info", "warn", "error")
+DEFAULT_CAPACITY = 1024
+
+
+class Event:
+    """One structured occurrence at a point in virtual time."""
+
+    __slots__ = ("ts_ns", "severity", "name", "payload")
+
+    def __init__(self, ts_ns: int, severity: str, name: str, payload: Dict[str, Any]) -> None:
+        self.ts_ns = ts_ns
+        self.severity = severity
+        self.name = name
+        self.payload = payload
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ts_ns": self.ts_ns,
+            "severity": self.severity,
+            "name": self.name,
+            "payload": dict(self.payload),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Event {self.severity} {self.name} @{self.ts_ns}>"
+
+
+class EventLog:
+    """Fixed-capacity ring of events stamped with one virtual clock."""
+
+    def __init__(self, clock: VirtualClock, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"event log capacity must be positive, got {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        self._ring: Deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._ring)
+
+    def emit(self, name: str, severity: str = "info", **payload: Any) -> Event:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}; choose from {SEVERITIES}")
+        event = Event(self.clock.now_ns, severity, name, payload)
+        self._ring.append(event)
+        self.emitted += 1
+        return event
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [event.to_dict() for event in self._ring]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventLog {len(self._ring)}/{self.capacity} ({self.dropped} dropped)>"

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, Thread
 from repro.kernel.syscalls import SyscallRequest, TIMEOUT
@@ -120,6 +121,13 @@ class MCRSession:
                     process.space.clear_soft_dirty()
         if self.phase == PHASE_RECORD:
             self.phase = PHASE_NORMAL
+        obs.gauge("mcr.startup_log_records", len(self.startup_log))
+        obs.emit(
+            "mcr.startup_complete",
+            role=self.role,
+            duration_ns=self.startup_duration_ns(),
+            log_records=len(self.startup_log),
+        )
 
     def startup_duration_ns(self) -> Optional[int]:
         if self.startup_started_ns is None or self.startup_completed_ns is None:
@@ -193,6 +201,7 @@ class MCRRuntime:
                         sanitize_args(args),
                         sanitize_result(result),
                     )
+                    obs.incr("mcr.replayed_ops_recorded")
                 return result
         result = yield SyscallRequest(name, args, timeout_ns)
         if (
@@ -208,6 +217,7 @@ class MCRRuntime:
                 sanitize_args(args),
                 sanitize_result(result),
             )
+            obs.incr("mcr.recorded_ops")
         return result
 
     # -- unblockification (§4) ----------------------------------------------------------
@@ -247,3 +257,6 @@ class MCRRuntime:
             waited_ns += slice_ns
             # The re-arm is the run-time cost of unblockification.
             session.kernel.clock.advance(config.unblockify_poll_cost_ns)
+            collector = obs.ACTIVE
+            if collector is not None:
+                collector.counters.incr("mcr.unblockify_rearms")
