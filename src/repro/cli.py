@@ -8,7 +8,7 @@ Commands:
   per-thread report (default: all four evaluation servers).
 * ``bench <experiment>``     — regenerate one paper table/figure
   (table1, table2, table3, figure3, spec, memusage, updatetime,
-  ablations, or ``all``); ``--json`` also writes
+  ablations, scanperf, or ``all``); ``--json`` also writes
   ``BENCH_<experiment>.json`` through ``repro.obs.export``.
 * ``trace [server]``         — live-update a server under an installed
   observability collector and print the span tree + counters;
@@ -167,6 +167,13 @@ def _bench_ablations():
     return results, render_all(results)
 
 
+def _bench_scanperf():
+    from repro.bench.scanperf import render, run_scanperf
+
+    results = run_scanperf()
+    return results, render(results)
+
+
 # Experiment name -> callable returning (json-serializable results, text).
 BENCH_EXPERIMENTS = {
     "table1": _bench_table1,
@@ -177,6 +184,7 @@ BENCH_EXPERIMENTS = {
     "memusage": _bench_memusage,
     "updatetime": _bench_updatetime,
     "ablations": _bench_ablations,
+    "scanperf": _bench_scanperf,
 }
 
 
@@ -262,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "figure3", "spec",
-                 "memusage", "updatetime", "ablations", "all"],
+                 "memusage", "updatetime", "ablations", "scanperf", "all"],
     )
     bench.add_argument(
         "--json",

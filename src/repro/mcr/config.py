@@ -25,6 +25,8 @@ class MCRConfig:
         transfer_shared_libs: bool = False,      # paper default: don't
         conservative_interior_pointers: bool = True,
         interior_only_nonupdatable: bool = False,
+        fast_scan: bool = True,                  # bulk kernels + interval index
+        incremental_scan: bool = True,           # dirty-page scan memoization
     ) -> None:
         self.unblockify_slice_ns = unblockify_slice_ns
         self.unblockify_poll_cost_ns = unblockify_poll_cost_ns
@@ -40,6 +42,14 @@ class MCRConfig:
         # the target (immutable) but leaves it type-transformable, since a
         # base pointer survives any same-address layout change.
         self.interior_only_nonupdatable = interior_only_nonupdatable
+        # Perf knobs (host wall time only; virtual-time accounting and
+        # every traced-pointer statistic are identical either way).
+        # ``fast_scan``: bulk word decoding + interval-indexed resolution
+        # with a min/max prefilter.  ``incremental_scan``: reuse scan
+        # results across trace sweeps when no overlapping page was
+        # written since (soft-dirty-style write sequencing).
+        self.fast_scan = fast_scan
+        self.incremental_scan = incremental_scan
 
 
 class TransferCostModel:

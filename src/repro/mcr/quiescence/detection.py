@@ -52,8 +52,16 @@ class QuiescenceProtocol:
         self.converged_at_ns = None
 
     def is_quiescent(self, root: Process) -> bool:
-        threads = tree_live_threads(root)
-        return bool(threads) and all(t.at_barrier for t in threads)
+        # Hot path: evaluated once per kernel step while an update drives
+        # the world to the barrier.  Short-circuit on the first straggler
+        # instead of materializing the whole tree's thread list.
+        any_thread = False
+        for process in root.tree():
+            for thread in process.live_threads():
+                any_thread = True
+                if not thread.at_barrier:
+                    return False
+        return any_thread
 
     def wait(self, root: Process, deadline_ns: Optional[int] = None) -> int:
         """Run the world until quiescent; returns quiescence time (ns)."""

@@ -14,14 +14,43 @@ The scanner never *writes*; it only reports candidate words.  Resolution
 of a word to a live object is delegated to the caller's ``resolve``
 callable so the same scanner serves heap chunks, region blocks, statics,
 and library areas.
+
+Two implementations coexist:
+
+* ``scan_range``/``scan_words`` — the **bulk fast path**: one mapping
+  lookup per range (a zero-copy ``AddressSpace.view``), all words decoded
+  in a single ``memoryview.cast('Q')`` pass, and an optional ``bounds``
+  min/max prefilter that rejects words that cannot resolve without any
+  Python-level lookup.  Falls back to the reference scanner whenever the
+  range is not backed by one mapping, so fault semantics are unchanged.
+* ``scan_range_ref``/``scan_words_ref`` — the **reference per-word
+  implementation** (the original hot path).  Kept as the fallback, as the
+  legacy mode behind ``MCRConfig.fast_scan``, and as the oracle for the
+  equivalence property tests and the ``bench scanperf`` experiment.
+
+Both report identical ``LikelyPointer`` lists and ``words_scanned``
+counts by construction, so every Table 2/3 ratio is invariant under the
+fast path.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple
+import struct as _struct
+import sys as _sys
+from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro import obs
+from repro.errors import MemoryFault
 from repro.mem.address_space import AddressSpace
 from repro.types.descriptors import WORD_SIZE
+
+# ``memoryview.cast("Q")`` decodes in *native* byte order; the simulated
+# machine is little-endian.  On big-endian hosts fall back to explicit
+# little-endian struct decoding.
+_NATIVE_LITTLE_ENDIAN = _sys.byteorder == "little"
+
+ResolveFn = Callable[[int], Optional[Tuple[int, int, Optional[int]]]]
+Bounds = Optional[Tuple[int, int]]
 
 
 class LikelyPointer:
@@ -40,26 +69,115 @@ class LikelyPointer:
         return f"<LikelyPointer @0x{self.slot_address:x} -> 0x{self.value:x} ({kind})>"
 
 
+def _decode_words(window: memoryview) -> List[int]:
+    """All little-endian 64-bit words in ``window`` (len must be 8-aligned)."""
+    if _NATIVE_LITTLE_ENDIAN:
+        return window.cast("Q").tolist()
+    return [w for (w,) in _struct.iter_unpack("<Q", window)]  # pragma: no cover
+
+
+def _publish(words: int, calls: int, from_ref: bool) -> None:
+    """Feed scan volume counters to the active collector (one incr per range)."""
+    collector = obs.ACTIVE
+    if collector is None:
+        return
+    counters = collector.counters
+    counters.incr("scan.words", words)
+    counters.incr("scan.resolve_calls", calls)
+    if from_ref:
+        counters.incr("scan.ranges_ref", 1)
+    else:
+        counters.incr("scan.ranges_bulk", 1)
+
+
 def scan_range(
     space: AddressSpace,
     start: int,
     size: int,
-    resolve: Callable[[int], Optional[Tuple[int, int, Optional[int]]]],
+    resolve: ResolveFn,
+    bounds: Bounds = None,
 ) -> Tuple[List[LikelyPointer], int]:
-    """Scan ``[start, start+size)`` for likely pointers.
+    """Scan ``[start, start+size)`` for likely pointers (bulk fast path).
 
     ``resolve(value)`` returns ``(target_base, target_size, target_align)``
     when ``value`` falls inside a live object (``target_align`` of ``None``
     means no tag — accept any alignment), else ``None``.
 
+    ``bounds`` is an optional ``(lo, hi)`` pair such that ``resolve`` is
+    guaranteed to return ``None`` for any value outside ``lo <= v < hi``
+    (the caller's interval index knows the min/max resolvable address);
+    words outside the window skip resolution entirely.
+
     Returns the likely pointers found and the number of words scanned
-    (cost-model input).
+    (cost-model input) — both byte-identical to ``scan_range_ref``.
     """
-    found: List[LikelyPointer] = []
     # Words must themselves be aligned in memory.
     first = (start + WORD_SIZE - 1) // WORD_SIZE * WORD_SIZE
     end = start + size
+    count = (end - first) // WORD_SIZE
+    if count <= 0:
+        return [], 0
+    try:
+        window = space.view(first, count * WORD_SIZE)
+    except MemoryFault:
+        # The range is not backed by a single mapping (crosses a boundary
+        # or touches unmapped memory): the reference scanner reproduces
+        # the original per-word fault semantics exactly.
+        return scan_range_ref(space, start, size, resolve)
+    words = _decode_words(window)
+    found: List[LikelyPointer] = []
+    append = found.append
+    calls = 0
+    if bounds is not None:
+        lo, hi = bounds
+        for index, value in enumerate(words):
+            if value < lo or value >= hi:
+                continue
+            calls += 1
+            resolved = resolve(value)
+            if resolved is None:
+                continue
+            target_base, _target_size, target_align = resolved
+            if target_align is not None and (value - target_base) % target_align != 0:
+                # Tag-assisted rejection of illegal (unaligned) candidates.
+                continue
+            append(
+                LikelyPointer(
+                    first + index * WORD_SIZE, value, target_base, value != target_base
+                )
+            )
+    else:
+        for index, value in enumerate(words):
+            if value == 0:
+                continue
+            calls += 1
+            resolved = resolve(value)
+            if resolved is None:
+                continue
+            target_base, _target_size, target_align = resolved
+            if target_align is not None and (value - target_base) % target_align != 0:
+                continue
+            append(
+                LikelyPointer(
+                    first + index * WORD_SIZE, value, target_base, value != target_base
+                )
+            )
+    _publish(count, calls, from_ref=False)
+    return found, count
+
+
+def scan_range_ref(
+    space: AddressSpace,
+    start: int,
+    size: int,
+    resolve: ResolveFn,
+) -> Tuple[List[LikelyPointer], int]:
+    """Reference per-word scanner: one mapping lookup + copy per word."""
+    found: List[LikelyPointer] = []
+    first = (start + WORD_SIZE - 1) // WORD_SIZE * WORD_SIZE
+    end = start + size
     words_scanned = 0
+    calls = 0
     cursor = first
     while cursor + WORD_SIZE <= end:
         value = space.read_word(cursor)
@@ -67,34 +185,52 @@ def scan_range(
         cursor += WORD_SIZE
         if value == 0:
             continue
+        calls += 1
         resolved = resolve(value)
         if resolved is None:
             continue
         target_base, _target_size, target_align = resolved
         if target_align is not None and (value - target_base) % target_align != 0:
-            # Tag-assisted rejection of illegal (unaligned) candidates.
             continue
         found.append(
             LikelyPointer(cursor - WORD_SIZE, value, target_base, value != target_base)
         )
+    _publish(words_scanned, calls, from_ref=True)
     return found, words_scanned
 
 
 def scan_words(
     space: AddressSpace,
-    offsets: Iterator[int],
+    offsets: Iterable[int],
     base: int,
-    resolve: Callable[[int], Optional[Tuple[int, int, Optional[int]]]],
+    resolve: ResolveFn,
+    bounds: Bounds = None,
 ) -> Tuple[List[LikelyPointer], int]:
-    """Scan specific word offsets (the pointer-sized-integer policy)."""
+    """Scan specific word offsets (the pointer-sized-integer policy).
+
+    Bulk variant: the containing mapping is looked up once and words are
+    decoded in place with ``struct.unpack_from``; slots outside it fall
+    back to ``read_word`` so fault semantics match the reference scanner.
+    """
     found: List[LikelyPointer] = []
     words_scanned = 0
+    calls = 0
+    mapping = space.mapping_at(base)
+    data = mapping.data if mapping is not None else None
+    unpack_from = _struct.unpack_from
+    lo, hi = bounds if bounds is not None else (None, None)
     for offset in offsets:
         slot = base + offset
-        value = space.read_word(slot)
+        if data is not None and mapping.base <= slot and slot + WORD_SIZE <= mapping.end:
+            value = unpack_from("<Q", data, slot - mapping.base)[0]
+        else:
+            value = space.read_word(slot)
         words_scanned += 1
         if value == 0:
             continue
+        if lo is not None and (value < lo or value >= hi):
+            continue
+        calls += 1
         resolved = resolve(value)
         if resolved is None:
             continue
@@ -102,4 +238,33 @@ def scan_words(
         if target_align is not None and (value - target_base) % target_align != 0:
             continue
         found.append(LikelyPointer(slot, value, target_base, value != target_base))
+    _publish(words_scanned, calls, from_ref=False)
+    return found, words_scanned
+
+
+def scan_words_ref(
+    space: AddressSpace,
+    offsets: Iterable[int],
+    base: int,
+    resolve: ResolveFn,
+) -> Tuple[List[LikelyPointer], int]:
+    """Reference per-word offset scanner (the original implementation)."""
+    found: List[LikelyPointer] = []
+    words_scanned = 0
+    calls = 0
+    for offset in offsets:
+        slot = base + offset
+        value = space.read_word(slot)
+        words_scanned += 1
+        if value == 0:
+            continue
+        calls += 1
+        resolved = resolve(value)
+        if resolved is None:
+            continue
+        target_base, _target_size, target_align = resolved
+        if target_align is not None and (value - target_base) % target_align != 0:
+            continue
+        found.append(LikelyPointer(slot, value, target_base, value != target_base))
+    _publish(words_scanned, calls, from_ref=True)
     return found, words_scanned

@@ -21,6 +21,7 @@ paper's RSS overhead figures are reproduced from logical footprint).
 
 from __future__ import annotations
 
+import bisect as _bisect
 import struct as _struct
 from typing import Dict, Iterator, List, Optional
 
@@ -62,11 +63,7 @@ class Mapping:
         twin.name = self.name
         twin.kind = self.kind
         twin.data = bytearray(self.data)
-        twin.tracker = PageTracker(self.base, self.size)
-        if self.tracker._cleared_once:  # preserve tracking state across fork
-            twin.tracker._cleared_once = True
-            twin.tracker._dirty = set(self.tracker._dirty)
-        twin.tracker.ever_written = set(self.tracker.ever_written)
+        twin.tracker = self.tracker.clone()
         return twin
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -78,6 +75,8 @@ class AddressSpace:
 
     def __init__(self) -> None:
         self._mappings: List[Mapping] = []
+        self._bases: List[int] = []  # sorted mapping bases, parallel to _mappings
+        self._hit: Optional[Mapping] = None  # last mapping_at result (hot-path cache)
         self._mmap_cursor = MMAP_BASE
         self._lib_cursor = LIB_BASE
         self.soft_dirty_faults = 0  # total write-protect faults taken
@@ -119,11 +118,15 @@ class AddressSpace:
         mapping = self.mapping_at(base)
         if mapping is None or mapping.base != base:
             raise MemoryFault(base, "munmap of unmapped base")
-        self._mappings.remove(mapping)
+        index = _bisect.bisect_left(self._bases, base)
+        del self._mappings[index]
+        del self._bases[index]
+        self._hit = None
 
     def _insert(self, mapping: Mapping) -> None:
-        self._mappings.append(mapping)
-        self._mappings.sort(key=lambda m: m.base)
+        index = _bisect.bisect_left(self._bases, mapping.base)
+        self._mappings.insert(index, mapping)
+        self._bases.insert(index, mapping.base)
 
     def _find_overlap(self, base: int, size: int) -> Optional[Mapping]:
         end = base + size
@@ -133,9 +136,15 @@ class AddressSpace:
         return None
 
     def mapping_at(self, address: int) -> Optional[Mapping]:
-        for m in self._mappings:
-            if m.contains(address):
-                return m
+        hit = self._hit
+        if hit is not None and hit.base <= address < hit.end:
+            return hit
+        index = _bisect.bisect_right(self._bases, address) - 1
+        if index >= 0:
+            mapping = self._mappings[index]
+            if address < mapping.end:
+                self._hit = mapping
+                return mapping
         return None
 
     def mappings(self, kind: Optional[str] = None) -> Iterator[Mapping]:
@@ -148,30 +157,71 @@ class AddressSpace:
 
     # -- byte access (the MemoryView protocol) --------------------------
 
-    def read_bytes(self, address: int, size: int) -> bytes:
+    def _unmapped_detail(self, address: int) -> str:
+        """Describe where an unmapped address sits relative to mappings.
+
+        Reads/writes that start in a guard-page gap between mappings are a
+        common instrumentation bug; naming the neighbours turns "read of
+        unmapped memory" into something actionable.
+        """
+        index = _bisect.bisect_right(self._bases, address) - 1
+        below = self._mappings[index] if index >= 0 else None
+        above = self._mappings[index + 1] if index + 1 < len(self._mappings) else None
+        if below is not None and above is not None:
+            return (
+                f" (in the gap between '{below.name}' ending at 0x{below.end:x} "
+                f"and '{above.name}' starting at 0x{above.base:x})"
+            )
+        if below is not None:
+            return f" (0x{address - below.end:x} bytes past '{below.name}' ending at 0x{below.end:x})"
+        if above is not None:
+            return f" (0x{above.base - address:x} bytes before '{above.name}' at 0x{above.base:x})"
+        return " (no mappings exist)"
+
+    def _locate(self, address: int, size: int, verb: str) -> Mapping:
+        """The mapping backing ``[address, address+size)``, or MemoryFault."""
         mapping = self.mapping_at(address)
         if mapping is None:
-            raise MemoryFault(address, "read of unmapped memory")
+            raise MemoryFault(
+                address,
+                f"{verb} of unmapped memory{self._unmapped_detail(address)}",
+            )
+        if address - mapping.base + size > mapping.size:
+            raise MemoryFault(address + size, f"{verb} crosses mapping end")
+        return mapping
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        mapping = self._locate(address, size, "read")
         offset = address - mapping.base
-        if offset + size > mapping.size:
-            raise MemoryFault(address + size, "read crosses mapping end")
         return bytes(mapping.data[offset : offset + size])
 
-    def write_bytes(self, address: int, data: bytes) -> None:
-        mapping = self.mapping_at(address)
-        if mapping is None:
-            raise MemoryFault(address, "write to unmapped memory")
+    def view(self, address: int, size: int) -> memoryview:
+        """A zero-copy read window over ``[address, address+size)``.
+
+        The window must lie inside a single mapping.  Callers that decode
+        many words (the conservative scanner) cast the view instead of
+        materializing per-word ``bytes``.
+        """
+        mapping = self._locate(address, size, "view")
         offset = address - mapping.base
-        if offset + len(data) > mapping.size:
-            raise MemoryFault(address + len(data), "write crosses mapping end")
+        return memoryview(mapping.data)[offset : offset + size]
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        mapping = self._locate(address, len(data), "write")
+        offset = address - mapping.base
         mapping.data[offset : offset + len(data)] = data
         self.soft_dirty_faults += mapping.tracker.note_write(address, len(data))
 
     def read_word(self, address: int) -> int:
-        return _struct.unpack("<Q", self.read_bytes(address, 8))[0]
+        mapping = self._locate(address, 8, "read")
+        return _struct.unpack_from("<Q", mapping.data, address - mapping.base)[0]
 
     def write_word(self, address: int, value: int) -> None:
-        self.write_bytes(address, _struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+        mapping = self._locate(address, 8, "write")
+        _struct.pack_into(
+            "<Q", mapping.data, address - mapping.base, value & 0xFFFFFFFFFFFFFFFF
+        )
+        self.soft_dirty_faults += mapping.tracker.note_write(address, 8)
 
     # -- soft-dirty interface (CRIU-style) -------------------------------
 
@@ -209,4 +259,5 @@ class AddressSpace:
         twin._mmap_cursor = self._mmap_cursor
         twin._lib_cursor = self._lib_cursor
         twin._mappings = [m.clone() for m in self._mappings]
+        twin._bases = [m.base for m in twin._mappings]
         return twin

@@ -17,7 +17,7 @@ kernel default where soft-dirty bits start set for new mappings).
 
 from __future__ import annotations
 
-from typing import Iterator, Set
+from typing import Dict, Iterator, Set
 
 PAGE_SIZE = 4096
 
@@ -44,11 +44,36 @@ class PageTracker:
         # Pages ever written (never reset): the demand-paging resident set.
         self.ever_written: Set[int] = set()
         self.fault_count = 0  # simulated write-protect faults taken
+        # Monotonic write sequencing, independent of the soft-dirty bits
+        # (which belong to the update-time dirty filter and must not be
+        # cleared by scan bookkeeping).  ``write_seq`` advances on every
+        # write; ``_page_seq`` records the last sequence number that
+        # touched each page, so incremental scans can ask "was this range
+        # written since sequence N?" without disturbing soft-dirty state.
+        self.write_seq = 0
+        self._page_seq: Dict[int, int] = {}
 
     def clear(self) -> None:
         """Mark all pages soft-clean (CRIU-style ``clear_refs``)."""
         self._cleared_once = True
         self._dirty.clear()
+
+    def clone(self) -> "PageTracker":
+        """fork(): duplicate all tracking state, preserving semantics.
+
+        ``_cleared_once``, the soft-dirty set, the resident set, the fault
+        count, and the write sequencing all carry over — a forked child
+        must observe exactly the dirty-page state of its parent, or the
+        update-time dirty filter would treat inherited writes as clean.
+        """
+        twin = PageTracker(self.base, self.size)
+        twin._cleared_once = self._cleared_once
+        twin._dirty = set(self._dirty)
+        twin.ever_written = set(self.ever_written)
+        twin.fault_count = self.fault_count
+        twin.write_seq = self.write_seq
+        twin._page_seq = dict(self._page_seq)
+        return twin
 
     def note_write(self, address: int, size: int) -> int:
         """Record a write of ``size`` bytes at ``address``.
@@ -59,6 +84,11 @@ class PageTracker:
         first_touch = (address - self.base) // PAGE_SIZE
         last_touch = (address + max(size, 1) - 1 - self.base) // PAGE_SIZE
         self.ever_written.update(range(first_touch, last_touch + 1))
+        self.write_seq += 1
+        seq = self.write_seq
+        page_seq = self._page_seq
+        for page in range(first_touch, last_touch + 1):
+            page_seq[page] = seq
         if not self._cleared_once:
             return 0
         first = (address - self.base) // PAGE_SIZE
@@ -84,6 +114,19 @@ class PageTracker:
         first = (address - self.base) // PAGE_SIZE
         last = (address + max(size, 1) - 1 - self.base) // PAGE_SIZE
         return any(page in self._dirty for page in range(first, last + 1))
+
+    def range_written_since(self, address: int, size: int, seq: int) -> bool:
+        """Was any page of ``[address, address+size)`` written after ``seq``?
+
+        The incremental-scan validity test: ``seq`` is a ``write_seq``
+        value captured at scan time.  Unlike the soft-dirty bits this
+        never needs clearing, so repeated scans can layer on top of the
+        update-time dirty filter without interfering with it.
+        """
+        first = (address - self.base) // PAGE_SIZE
+        last = (address + max(size, 1) - 1 - self.base) // PAGE_SIZE
+        get = self._page_seq.get
+        return any(get(page, 0) > seq for page in range(first, last + 1))
 
     def dirty_pages(self) -> Iterator[int]:
         """Yield base addresses of dirty pages (all pages if never cleared)."""

@@ -9,7 +9,8 @@ root set for mutable tracing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.types.descriptors import TypeDesc
 
@@ -38,11 +39,17 @@ class SymbolTable:
 
     def __init__(self) -> None:
         self._by_name: Dict[str, Symbol] = {}
+        # Lazily-built (address -> symbol) index for find_containing;
+        # invalidated on add.  Symbol storage is disjoint by construction
+        # (the loader lays globals out back to back), so predecessor-by-
+        # address containment is exact.
+        self._addr_index: Optional[Tuple[List[int], List[Symbol]]] = None
 
     def add(self, symbol: Symbol) -> Symbol:
         if symbol.name in self._by_name:
             raise ValueError(f"duplicate symbol: {symbol.name}")
         self._by_name[symbol.name] = symbol
+        self._addr_index = None
         return symbol
 
     def lookup(self, name: str) -> Symbol:
@@ -62,7 +69,15 @@ class SymbolTable:
 
     def find_containing(self, address: int) -> Optional[Symbol]:
         """Find the symbol whose storage contains ``address``, if any."""
-        for symbol in self._by_name.values():
-            if symbol.address <= address < symbol.end:
+        index = self._addr_index
+        if index is None:
+            ordered = sorted(self._by_name.values(), key=lambda s: s.address)
+            index = ([s.address for s in ordered], ordered)
+            self._addr_index = index
+        addresses, symbols = index
+        i = bisect.bisect_right(addresses, address) - 1
+        if i >= 0:
+            symbol = symbols[i]
+            if address < symbol.end:
                 return symbol
         return None

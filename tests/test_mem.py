@@ -46,6 +46,58 @@ class TestPageTracker:
         assert tracker.range_dirty(2 * PAGE_SIZE, 10)
         assert not tracker.range_dirty(0, PAGE_SIZE)
 
+    def test_clone_before_first_clear_stays_all_dirty(self):
+        tracker = PageTracker(0, 2 * PAGE_SIZE)
+        twin = tracker.clone()
+        # Never-cleared semantics must survive fork: every page dirty.
+        assert not twin._cleared_once
+        assert twin.dirty_page_count() == 2
+        assert twin.is_dirty(PAGE_SIZE)
+
+    def test_clone_preserves_soft_dirty_state(self):
+        tracker = PageTracker(0, 4 * PAGE_SIZE)
+        tracker.note_write(3 * PAGE_SIZE, 8)  # resident before clear
+        tracker.clear()
+        tracker.note_write(PAGE_SIZE, 8)
+        twin = tracker.clone()
+        assert twin._cleared_once
+        assert twin._dirty == {1}
+        assert twin.ever_written == {1, 3}
+        assert twin.fault_count == tracker.fault_count
+        assert twin.is_dirty(PAGE_SIZE) and not twin.is_dirty(0)
+
+    def test_clone_is_independent(self):
+        tracker = PageTracker(0, 2 * PAGE_SIZE)
+        tracker.clear()
+        twin = tracker.clone()
+        twin.note_write(0, 8)
+        assert twin.is_dirty(0)
+        assert not tracker.is_dirty(0)
+        tracker.note_write(PAGE_SIZE, 8)
+        assert not twin.is_dirty(PAGE_SIZE)
+
+    def test_range_written_since(self):
+        tracker = PageTracker(0, 4 * PAGE_SIZE)
+        tracker.note_write(0, 8)
+        seq = tracker.write_seq
+        assert not tracker.range_written_since(0, PAGE_SIZE, seq)
+        tracker.note_write(2 * PAGE_SIZE, 8)
+        assert not tracker.range_written_since(0, PAGE_SIZE, seq)
+        assert tracker.range_written_since(2 * PAGE_SIZE, 8, seq)
+        assert tracker.range_written_since(0, 4 * PAGE_SIZE, seq)  # overlaps page 2
+
+    def test_write_sequencing_independent_of_soft_dirty(self):
+        tracker = PageTracker(0, 2 * PAGE_SIZE)
+        tracker.note_write(0, 8)
+        seq = tracker.write_seq
+        # clear() resets soft-dirty bits but must not disturb sequencing:
+        # the update-time dirty filter and the scan cache are independent.
+        tracker.clear()
+        assert not tracker.is_dirty(0)
+        assert not tracker.range_written_since(0, PAGE_SIZE, seq)
+        tracker.note_write(0, 8)
+        assert tracker.range_written_since(0, PAGE_SIZE, seq)
+
 
 class TestAddressSpace:
     def test_map_read_write(self, space):
@@ -100,6 +152,59 @@ class TestAddressSpace:
         a = space.map(4096)
         b = space.map(4096)
         assert a.base != b.base
+
+    def test_guard_gap_fault_names_neighbours(self, space):
+        space.map(4096, address=0x20000, name="left")
+        space.map(4096, address=0x30000, name="right")
+        with pytest.raises(MemoryFault) as exc:
+            space.read_bytes(0x25000, 4)
+        message = str(exc.value)
+        assert "left" in message and "right" in message
+        assert "0x21000" in message and "0x30000" in message
+
+    def test_fault_past_last_mapping_names_it(self, space):
+        space.map(4096, address=0x20000, name="only")
+        with pytest.raises(MemoryFault) as exc:
+            space.write_bytes(0x22000, b"x")
+        assert "past 'only'" in str(exc.value)
+
+    def test_fault_in_empty_space(self):
+        space = AddressSpace()
+        with pytest.raises(MemoryFault) as exc:
+            space.read_bytes(0x1000, 1)
+        assert "no mappings exist" in str(exc.value)
+
+    def test_view_is_zero_copy(self, space):
+        space.map(4096, address=0x20000)
+        space.write_bytes(0x20010, b"before")
+        window = space.view(0x20010, 6)
+        assert bytes(window) == b"before"
+        # A later write through the space is visible through the same
+        # window: the view aliases the backing store, it is no snapshot.
+        space.write_bytes(0x20010, b"after!")
+        assert bytes(window) == b"after!"
+
+    def test_view_faults_like_reads(self, space):
+        space.map(4096, address=0x20000)
+        with pytest.raises(MemoryFault):
+            space.view(0x999000, 8)
+        with pytest.raises(MemoryFault):
+            space.view(0x20000 + 4090, 16)  # crosses mapping end
+
+    def test_mapping_at_after_unmap(self, space):
+        a = space.map(4096, address=0x20000, name="a")
+        b = space.map(4096, address=0x30000, name="b")
+        assert space.mapping_at(0x20000) is a  # prime the hit cache
+        space.unmap(0x20000)
+        assert space.mapping_at(0x20010) is None
+        assert space.mapping_at(0x30010) is b
+
+    def test_mapping_at_many_mappings(self, space):
+        mapped = [space.map(4096, address=0x100000 + i * 0x10000) for i in range(16)]
+        for m in mapped:
+            assert space.mapping_at(m.base) is m
+            assert space.mapping_at(m.end - 1) is m
+            assert space.mapping_at(m.end) is None  # guard gap
 
 
 class TestPtMalloc:

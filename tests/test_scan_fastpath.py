@@ -1,0 +1,292 @@
+"""Equivalence tests for the memory-engine fast path.
+
+The bulk scanning kernels, the interval-indexed resolver, and the
+incremental scan cache are pure host-side optimizations: each must be
+observationally identical to its reference implementation (identical
+``LikelyPointer`` lists, identical ``words_scanned``, identical resolve
+results).  These tests pin that equivalence down with randomized memory
+images and direct checks of the cache-validity rules.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcr.config import MCRConfig
+from repro.mcr.tracing.conservative import (
+    scan_range,
+    scan_range_ref,
+    scan_words,
+    scan_words_ref,
+)
+from repro.mcr.tracing.graph import AddressResolver, GraphBuilder
+from repro.mcr.tracing.incremental import ScanCache, resolution_fingerprint
+from repro.mem.address_space import AddressSpace
+from repro.runtime.program import GlobalVar
+from repro.types.descriptors import INT32, INT64, PointerType, StructType
+
+from tests.helpers import boot_test_program, make_test_program
+
+NODE = StructType("node", [("value", INT32), ("next", PointerType(None, name="node*"))])
+
+REGION = 0x40000  # the scanned area
+TARGETS = 0x80000  # where the synthetic live objects sit
+
+
+def _booted_world(globals_=(), types=None):
+    program = make_test_program(list(globals_), types=types)
+    return boot_test_program(program)
+
+
+def _key(pointers):
+    return [(p.slot_address, p.value, p.target_base, p.interior) for p in pointers]
+
+
+# -- randomized bulk-vs-reference equivalence ---------------------------------
+
+# Objects the synthetic resolver knows: (base, size, align-or-None).
+# Aligns of 1/4/8/16 exercise the tag-alignment rejection both ways.
+_OBJECTS = [
+    (TARGETS + 0x000, 48, None),
+    (TARGETS + 0x100, 64, 8),
+    (TARGETS + 0x200, 24, 4),
+    (TARGETS + 0x300, 128, 16),
+]
+_BOUNDS = (min(b for b, _, _ in _OBJECTS), max(b + s for b, s, _ in _OBJECTS))
+
+
+def _resolve(value):
+    for base, size, align in _OBJECTS:
+        if base <= value < base + size:
+            return (base, size, align)
+    return None
+
+
+# A word mix biased toward interesting cases: zeros, wild integers, and
+# values in/near the object range (bases, interior, just-past-the-end).
+_WORD = st.one_of(
+    st.just(0),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.integers(min_value=TARGETS - 16, max_value=TARGETS + 0x400),
+    st.sampled_from([b for b, _, _ in _OBJECTS]),
+)
+
+
+class TestBulkEquivalence:
+    @given(
+        words=st.lists(_WORD, min_size=1, max_size=96),
+        start_offset=st.integers(min_value=0, max_value=15),
+        tail=st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scan_range_matches_reference(self, words, start_offset, tail):
+        space = AddressSpace()
+        space.map(8192, address=REGION)
+        for index, word in enumerate(words):
+            space.write_word(REGION + index * 8, word)
+        start = REGION + start_offset  # may be word-unaligned
+        size = len(words) * 8 - start_offset + tail
+        ref = scan_range_ref(space, start, size, _resolve)
+        bulk = scan_range(space, start, size, _resolve)
+        bulk_bounded = scan_range(space, start, size, _resolve, bounds=_BOUNDS)
+        assert _key(bulk[0]) == _key(ref[0]) and bulk[1] == ref[1]
+        assert _key(bulk_bounded[0]) == _key(ref[0]) and bulk_bounded[1] == ref[1]
+
+    @given(
+        words=st.lists(_WORD, min_size=1, max_size=64),
+        offsets=st.lists(st.integers(min_value=0, max_value=1016), max_size=48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scan_words_matches_reference(self, words, offsets):
+        space = AddressSpace()
+        space.map(8192, address=REGION)
+        for index, word in enumerate(words):
+            space.write_word(REGION + index * 8, word)
+        ref = scan_words_ref(space, offsets, REGION, _resolve)
+        bulk = scan_words(space, offsets, REGION, _resolve)
+        bulk_bounded = scan_words(space, offsets, REGION, _resolve, bounds=_BOUNDS)
+        assert _key(bulk[0]) == _key(ref[0]) and bulk[1] == ref[1]
+        assert _key(bulk_bounded[0]) == _key(ref[0]) and bulk_bounded[1] == ref[1]
+
+    def test_cross_mapping_scan_falls_back(self):
+        # Two adjacent mappings: no single view covers the range, so the
+        # bulk path must delegate to the reference scanner and still
+        # produce its exact result.
+        space = AddressSpace()
+        space.map(4096, address=REGION)
+        space.map(4096, address=REGION + 4096)
+        space.write_word(REGION + 4096 - 8, TARGETS + 8)
+        space.write_word(REGION + 4096, TARGETS + 0x108)
+        ref = scan_range_ref(space, REGION + 4064, 64, _resolve)
+        bulk = scan_range(space, REGION + 4064, 64, _resolve)
+        assert _key(bulk[0]) == _key(ref[0]) and bulk[1] == ref[1]
+        assert len(bulk[0]) == 2
+
+
+# -- interval index vs resolution cascade -------------------------------------
+
+
+class TestIntervalIndex:
+    def test_indexed_resolution_matches_cascade(self):
+        kernel, session, proc = _booted_world(
+            [GlobalVar("head", PointerType(NODE, name="node*"))], types={"node": NODE}
+        )
+        crt = proc.crt
+        thread = proc.threads[1]
+        crt.malloc_typed(thread, NODE)
+        raw = crt.malloc(80)
+        reserved = proc.heap.base + 4096
+        proc.heap.reserve_range(reserved, 1024)
+        resolver = AddressResolver(proc)
+        probes = list(range(proc.heap.base - 64, proc.heap.base + 8192, 4))
+        for mapping in proc.space.mappings():
+            probes.extend(range(mapping.base, min(mapping.base + 512, mapping.end), 8))
+            probes.append(mapping.end - 8)
+            probes.append(mapping.end)  # guard gap
+        cascade = [resolver.resolve(address) for address in probes]
+        resolver.build_index()
+        try:
+            indexed = [resolver.resolve(address) for address in probes]
+        finally:
+            resolver.drop_index()
+        assert indexed == cascade
+        assert any(r is not None for r in cascade)  # sweep hit live objects
+
+    def test_nested_tag_gap_semantics_preserved(self):
+        # The cascade checks only the predecessor-by-start tag: an outer
+        # tag does NOT cover addresses past a nested inner tag's end (the
+        # next level resolves them instead).  The index must reproduce
+        # this quirk, not "fix" it.
+        kernel, session, proc = _booted_world([], types={"node": NODE})
+        raw = proc.crt.malloc(64)
+        outer = StructType("outer", [("a", INT64), ("b", INT64)])
+        proc.tags.register(raw, outer, origin="heap")
+        proc.tags.register(raw + 8, INT32, origin="heap")
+        resolver = AddressResolver(proc)
+        probes = [raw, raw + 4, raw + 8, raw + 11, raw + 13, raw + 24, raw + 63]
+        cascade = [resolver.resolve(address) for address in probes]
+        resolver.build_index()
+        try:
+            indexed = [resolver.resolve(address) for address in probes]
+        finally:
+            resolver.drop_index()
+        assert indexed == cascade
+        # Past the inner tag's end the tags level misses and the heap
+        # chunk answers: base pointer resolution, no tag.
+        base, _size, _align, tag = resolver.resolve(raw + 13)
+        assert base == raw and tag is None
+
+    def test_scan_bounds_cover_all_resolvables(self):
+        kernel, session, proc = _booted_world([], types={"node": NODE})
+        proc.crt.malloc(48)
+        resolver = AddressResolver(proc)
+        resolver.build_index()
+        try:
+            lo, hi = resolver.scan_bounds()
+            for probe in range(proc.heap.base, proc.heap.base + 4096, 8):
+                if resolver.resolve(probe) is not None:
+                    assert lo <= probe < hi
+        finally:
+            resolver.drop_index()
+
+
+# -- the incremental scan cache ------------------------------------------------
+
+
+class TestScanCache:
+    def _scanned_world(self):
+        kernel, session, proc = _booted_world([])
+        raw = proc.crt.malloc(64)
+        proc.space.write_word(raw, raw + 16)  # a real likely pointer
+        return proc, raw
+
+    def test_store_then_hit(self):
+        proc, raw = self._scanned_world()
+        resolver = AddressResolver(proc)
+        cache = ScanCache(proc)
+        cache.begin_round()
+        start, size = proc.heap.base, 512
+        assert cache.lookup(start, size) is None
+        found, words = scan_range_ref(proc.space, start, size, resolver.resolve_for_scan)
+        cache.store(start, size, found, words)
+        hit = cache.lookup(start, size)
+        assert hit is not None
+        assert hit[0] is found and hit[1] == words
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_write_invalidates(self):
+        proc, raw = self._scanned_world()
+        cache = ScanCache(proc)
+        cache.begin_round()
+        start, size = proc.heap.base, 512
+        cache.store(start, size, [], 64)
+        proc.space.write_word(start + 256, 7)
+        assert cache.lookup(start, size) is None
+
+    def test_write_elsewhere_keeps_entry(self):
+        proc, raw = self._scanned_world()
+        cache = ScanCache(proc)
+        cache.begin_round()
+        start, size = proc.heap.base, 512
+        cache.store(start, size, [], 64)
+        # A write several pages away must not invalidate this range.
+        proc.space.write_word(start + 16 * 4096, 7)
+        assert cache.lookup(start, size) is not None
+
+    def test_fingerprint_change_empties_cache(self):
+        proc, raw = self._scanned_world()
+        cache = ScanCache(proc)
+        cache.begin_round()
+        start, size = proc.heap.base + 8192, 256  # pages untouched by malloc
+        cache.store(start, size, [], 32)
+        proc.crt.malloc(32)  # allocation changes what resolves
+        cache.begin_round()
+        assert cache.lookup(start, size) is None
+
+    def test_quiet_round_keeps_cache(self):
+        proc, raw = self._scanned_world()
+        cache = ScanCache(proc)
+        cache.begin_round()
+        start, size = proc.heap.base + 8192, 256
+        cache.store(start, size, [], 32)
+        cache.begin_round()  # nothing changed: the second sweep reuses it
+        assert cache.lookup(start, size) is not None
+
+    def test_fingerprint_tracks_tags_and_mappings(self):
+        proc, raw = self._scanned_world()
+        before = resolution_fingerprint(proc)
+        proc.tags.register(raw, INT64, origin="heap")
+        after_tag = resolution_fingerprint(proc)
+        assert after_tag != before
+        proc.space.map(4096, name="new", kind="mmap")
+        assert resolution_fingerprint(proc) != after_tag
+
+
+# -- whole-trace equivalence ---------------------------------------------------
+
+
+class TestGraphBuilderModes:
+    def test_fast_and_slow_traces_identical(self):
+        kernel, session, proc = _booted_world(
+            [GlobalVar("head", PointerType(NODE, name="node*"))], types={"node": NODE}
+        )
+        crt = proc.crt
+        thread = proc.threads[1]
+        n1 = crt.malloc_typed(thread, NODE)
+        n2 = crt.malloc_typed(thread, NODE)
+        crt.set(n1, NODE, "next", n2)
+        crt.gset("head", n1)
+        raw = crt.malloc(64)
+        proc.space.write_word(raw + 8, n2)  # conservative interior edge
+
+        slow = GraphBuilder(
+            proc, config=MCRConfig(fast_scan=False, incremental_scan=False)
+        ).build()
+        fast = GraphBuilder(proc).build()
+        repeat = GraphBuilder(proc).build()  # second sweep: cache hits
+
+        for trace in (fast, repeat):
+            assert set(trace.objects) == set(slow.objects)
+            assert trace.words_scanned == slow.words_scanned
+            assert _key(trace.likely_pointers) == _key(slow.likely_pointers)
+            assert len(trace.precise_pointers) == len(slow.precise_pointers)
