@@ -1,0 +1,313 @@
+"""The fault matrix: injection sites × servers, every cell must survive.
+
+For each evaluation server and each fault site in
+``repro.mcr.faults.SITES``: boot the server, run a short workload (and,
+where the protocol supports it, park a couple of held connections so the
+restore-phase sites have work to fail), arm a ``FaultPlan`` for the site,
+and trigger a live update.  Each cell then asserts the paper's safety
+property (§3, §6.3) end to end:
+
+* ``run_update`` returned — the fault never escaped as an exception;
+* the surviving version is actually *serving* (a probe workload runs
+  against the port with zero errors);
+* after a rollback, the old tree is byte-identical to its checkpoint
+  (``UpdateResult.rollback_verified`` from the fingerprint comparison).
+
+Two cells deviate from plain arm-one-site:
+
+* ``commit.critical`` fires *after* the point of no return, so the
+  expected outcome is a committed update with the fault contained
+  (roll-forward), the new version serving;
+* ``rollback`` alone would never fire (no rollback happens without a
+  primary fault), so that cell arms ``transfer.memory`` + ``rollback`` —
+  the double fault — and additionally requires ``rollback_failed`` to be
+  flagged while the old version still serves.
+
+Wired into the CLI as ``python -m repro bench faultmatrix [--smoke]
+[--json]``; the JSON lands in ``BENCH_faultmatrix.json`` and CI asserts
+every cell's ``survived`` and ``old_version_intact`` booleans.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import SERVER_BENCHES, boot_server
+from repro.bench.reporting import render_table
+from repro.errors import SimError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import sim_function
+from repro.mcr.config import MCRConfig
+from repro.mcr.ctl import McrCtl
+from repro.mcr.faults import FaultPlan, SITES
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession
+from repro.runtime.program import load_program
+from repro.servers.common import connect_with_retry
+from repro.workloads.ab import ApacheBench
+from repro.workloads.ftpbench import FtpBench
+from repro.workloads.holders import ConnectionHolder
+
+FULL_SERVERS = ("simple", "httpd", "nginx", "vsftpd", "memcache")
+SMOKE_SERVERS = ("simple", "vsftpd")
+
+# Held connections for servers whose protocol the holder speaks: they
+# give the restore-phase sites (restore.fds, restore.handlers) real work.
+_HELD_CONNECTIONS = 2
+
+
+class LineBench:
+    """Line-protocol driver for the command servers (simple, memcache).
+
+    Each client connects once and plays the scripted ``(line, expected
+    reply prefix)`` exchanges — AB's ``GET <path>`` shape only draws
+    ``err unknown`` from these protocols, which would make the probe
+    vacuous.
+    """
+
+    def __init__(self, port: int, script, clients: int = 1) -> None:
+        self.port = port
+        self.script = list(script)
+        self.clients = clients
+        self.completed = 0
+        self.errors = 0
+
+    def run(self, kernel: Kernel, max_steps: int = 5_000_000) -> None:
+        bench = self
+
+        @sim_function
+        def line_client(sys):
+            try:
+                fd = yield from connect_with_retry(sys, bench.port)
+            except SimError:
+                bench.errors += len(bench.script)
+                return
+            for line, expect in bench.script:
+                yield from sys.send(fd, (line + "\n").encode())
+                reply = yield from sys.recv(fd)
+                if reply and reply.decode(errors="replace").startswith(expect):
+                    bench.completed += 1
+                else:
+                    bench.errors += 1
+            yield from sys.close(fd)
+
+        procs = [
+            kernel.spawn_process(line_client, name=f"line-{index}")
+            for index in range(self.clients)
+        ]
+        kernel.run(until=lambda: all(p.exited for p in procs), max_steps=max_steps)
+
+
+# Per-server workload/probe wiring.  ``bench`` is the pre-update state
+# populator; ``probe`` must complete with zero errors against whichever
+# version is serving after the update attempt.
+_MATRIX: Dict[str, Dict] = {
+    "simple": {
+        "port": 8080,
+        "bench": lambda: LineBench(
+            8080,
+            [("push 5", "ok"), ("push 7", "ok"), ("sum", "sum 12")],
+            clients=2,
+        ),
+        "probe": lambda: LineBench(8080, [("sum", "sum"), ("version", "version")]),
+        "holder_kind": None,
+    },
+    "httpd": {
+        "port": 80,
+        "bench": lambda: ApacheBench(80, requests=30, concurrency=2),
+        "probe": lambda: ApacheBench(80, requests=5, concurrency=1),
+        "holder_kind": "http",
+    },
+    "nginx": {
+        "port": 8081,
+        "bench": lambda: ApacheBench(8081, requests=30, concurrency=2),
+        "probe": lambda: ApacheBench(8081, requests=5, concurrency=1),
+        "holder_kind": "http",
+    },
+    "vsftpd": {
+        "port": 21,
+        "bench": lambda: FtpBench(21, users=3, retrievals=1),
+        "probe": lambda: FtpBench(21, users=1, retrievals=1),
+        "holder_kind": "ftp",
+    },
+    "memcache": {
+        "port": 11211,
+        "bench": lambda: LineBench(
+            11211,
+            [("set k1 v1", "STORED"), ("set k2 v2", "STORED"), ("get k1", "VALUE v1")],
+        ),
+        "probe": lambda: LineBench(11211, [("get k1", "VALUE v1"), ("nstats", "STATS")]),
+        "holder_kind": None,
+    },
+}
+
+
+class _World:
+    def __init__(self, kernel: Kernel, module, session: MCRSession, port: int) -> None:
+        self.kernel = kernel
+        self.module = module
+        self.session = session
+        self.port = port
+
+
+def _boot(name: str) -> _World:
+    """Boot one matrix server (servers outside SERVER_BENCHES included)."""
+    module = importlib.import_module(f"repro.servers.{name}")
+    if name in SERVER_BENCHES:
+        world = boot_server(name)
+        return _World(world.kernel, module, world.session, world.port)
+    kernel = Kernel()
+    module.setup_world(kernel)
+    program = module.make_program(1)
+    build = BuildConfig.full()
+    session = MCRSession(kernel, program, build)
+    load_program(kernel, program, build=build, session=session)
+    kernel.run(until=lambda: session.startup_complete, max_steps=400_000)
+    return _World(kernel, module, session, _MATRIX[name]["port"])
+
+
+def _arm(site: str) -> FaultPlan:
+    plan = FaultPlan()
+    if site == "quiescence.wait":
+        # Outlast the controller's bounded retries or the cell commits.
+        plan.at(site, times=MCRConfig().quiescence_max_retries + 1)
+    elif site == "rollback":
+        # The double fault: a transfer fault forces the rollback, which
+        # then faults itself.
+        plan.at("transfer.memory").at(site)
+    else:
+        plan.at(site)
+    return plan
+
+
+def run_cell(server: str, site: str) -> Dict[str, object]:
+    spec = _MATRIX[server]
+    world = _boot(server)
+    spec["bench"]().run(world.kernel)
+    holder: Optional[ConnectionHolder] = None
+    if spec["holder_kind"] is not None:
+        holder = ConnectionHolder(world.port, _HELD_CONNECTIONS, spec["holder_kind"])
+        holder.establish(world.kernel)
+    plan = _arm(site)
+    config = MCRConfig(faults=plan)
+    ctl = McrCtl(world.kernel, world.session)
+    raised: Optional[str] = None
+    result = None
+    try:
+        result = ctl.live_update(world.module.make_program(2), config=config)
+    except BaseException as error:  # the property under test: never happens
+        raised = repr(error)
+    fired = [s for s, _hit in plan.injected]
+    expect_commit = site == "commit.critical" or not fired
+    cell: Dict[str, object] = {
+        "server": server,
+        "site": site,
+        "armed": plan.armed_sites(),
+        "fired": bool(fired),
+        "fired_sites": fired,
+        "raised": raised,
+        "committed": bool(result.committed) if result else False,
+        "rolled_back": bool(result.rolled_back) if result else False,
+        "failure_site": result.failure_site if result else None,
+        "retries": result.retries if result else 0,
+        "rollback_verified": result.rollback_verified if result else None,
+        "rollback_failed": bool(result.rollback_failed) if result else False,
+        "error": type(result.error).__name__ if result and result.error else None,
+    }
+    # Survival: whichever version should now be serving answers traffic.
+    listener = world.kernel.net.listener_for(world.port)
+    probe = spec["probe"]()
+    try:
+        probe.run(world.kernel)
+        probe_ok = probe.errors == 0 and probe.completed > 0
+    except BaseException as error:  # pragma: no cover - diagnostics only
+        probe_ok = False
+        cell["probe_error"] = repr(error)
+    cell["probe_completed"] = probe.completed
+    cell["probe_errors"] = probe.errors
+    survived = raised is None and listener is not None and probe_ok
+    if result is not None:
+        survived = survived and (result.committed != result.rolled_back)
+        survived = survived and (result.committed == expect_commit)
+        if site == "rollback" and result.rolled_back:
+            # The double-fault cell must flag the degradation loudly.
+            survived = survived and result.rollback_failed
+    cell["survived"] = survived
+    # Old-version-intact: after a rollback, the fingerprint must match the
+    # checkpoint.  Committed cells (fault never fired, or contained past
+    # the point of no return) vacuously keep the property if they serve.
+    if result is not None and result.rolled_back:
+        intact = result.rollback_verified is True
+    else:
+        intact = survived
+    cell["old_version_intact"] = intact
+    if holder is not None:
+        holder.finish(world.kernel)
+    return cell
+
+
+def run_faultmatrix(
+    servers: Optional[Sequence[str]] = None, smoke: bool = False
+) -> Dict[str, object]:
+    names = tuple(servers) if servers else (SMOKE_SERVERS if smoke else FULL_SERVERS)
+    cells: List[Dict[str, object]] = []
+    for server in names:
+        for site in SITES:
+            cells.append(run_cell(server, site))
+    return {
+        "servers": list(names),
+        "sites": list(SITES),
+        "smoke": smoke,
+        "cells": cells,
+        "cells_total": len(cells),
+        "cells_fired": sum(1 for c in cells if c["fired"]),
+        "all_survived": all(c["survived"] for c in cells),
+        "all_old_version_intact": all(c["old_version_intact"] for c in cells),
+        "any_raised": any(c["raised"] for c in cells),
+    }
+
+
+def render(results: Dict[str, object]) -> str:
+    rows = []
+    for cell in results["cells"]:
+        if cell["committed"]:
+            outcome = "commit!" if cell["fired"] else "commit"
+        elif cell["rolled_back"]:
+            outcome = "rollback"
+        else:
+            outcome = "RAISED"
+        rows.append(
+            [
+                cell["server"],
+                cell["site"],
+                "yes" if cell["fired"] else "-",
+                outcome,
+                {True: "yes", False: "NO", None: "-"}[cell["rollback_verified"]],
+                "yes" if cell["survived"] else "NO",
+                "yes" if cell["old_version_intact"] else "NO",
+            ]
+        )
+    summary = (
+        f"{results['cells_total']} cells "
+        f"({len(results['servers'])} servers x {len(results['sites'])} sites), "
+        f"{results['cells_fired']} faults fired, "
+        f"all_survived={results['all_survived']}, "
+        f"all_old_version_intact={results['all_old_version_intact']}, "
+        f"any_raised={results['any_raised']}"
+    )
+    return "\n".join(
+        [
+            render_table(
+                "Fault matrix: injected failure sites x servers",
+                ["server", "site", "fired", "outcome", "verified", "survived", "intact"],
+                rows,
+                note=(
+                    "outcome commit! = fault fired past the point of no return and "
+                    "was contained (roll-forward); verified = old-tree fingerprint "
+                    "matched its checkpoint after rollback"
+                ),
+            ),
+            summary,
+        ]
+    )

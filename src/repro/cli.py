@@ -8,8 +8,9 @@ Commands:
   per-thread report (default: all four evaluation servers).
 * ``bench <experiment>``     — regenerate one paper table/figure
   (table1, table2, table3, figure3, spec, memusage, updatetime,
-  ablations, scanperf, or ``all``); ``--json`` also writes
-  ``BENCH_<experiment>.json`` through ``repro.obs.export``.
+  ablations, scanperf, faultmatrix, or ``all``); ``--json`` also writes
+  ``BENCH_<experiment>.json`` through ``repro.obs.export``;
+  ``--smoke`` shrinks faultmatrix to its CI subset.
 * ``trace [server]``         — live-update a server under an installed
   observability collector and print the span tree + counters;
   ``--export FILE`` writes a Chrome ``trace_event`` JSON (Perfetto).
@@ -174,6 +175,13 @@ def _bench_scanperf():
     return results, render(results)
 
 
+def _bench_faultmatrix(smoke: bool = False):
+    from repro.bench.faultmatrix import render, run_faultmatrix
+
+    results = run_faultmatrix(smoke=smoke)
+    return results, render(results)
+
+
 # Experiment name -> callable returning (json-serializable results, text).
 BENCH_EXPERIMENTS = {
     "table1": _bench_table1,
@@ -185,13 +193,17 @@ BENCH_EXPERIMENTS = {
     "updatetime": _bench_updatetime,
     "ablations": _bench_ablations,
     "scanperf": _bench_scanperf,
+    "faultmatrix": _bench_faultmatrix,
 }
 
 
 def cmd_bench(args) -> int:
     names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        results, text = BENCH_EXPERIMENTS[name]()
+        if name == "faultmatrix":
+            results, text = _bench_faultmatrix(smoke=getattr(args, "smoke", False))
+        else:
+            results, text = BENCH_EXPERIMENTS[name]()
         print(text, end="\n\n")
         if args.json:
             from repro.obs.export import write_json
@@ -217,6 +229,13 @@ def cmd_trace(args) -> int:
         result = ctl.live_update(module.make_program(2))
     status = "committed" if result.committed else "ROLLED BACK"
     print(f"{name}: update {status} in {result.total_ms():.2f} ms")
+    if result.retries:
+        print(f"quiescence retries: {result.retries}")
+    if result.rolled_back:
+        print(
+            f"failure site: {result.failure_site or 'unknown'}; "
+            f"old-version fingerprint verified: {result.rollback_verified}"
+        )
     if result.spans is not None:
         print()
         print(render_tree(result.spans))
@@ -270,12 +289,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         choices=["table1", "table2", "table3", "figure3", "spec",
-                 "memusage", "updatetime", "ablations", "scanperf", "all"],
+                 "memusage", "updatetime", "ablations", "scanperf",
+                 "faultmatrix", "all"],
     )
     bench.add_argument(
         "--json",
         action="store_true",
         help="also write BENCH_<experiment>.json for each experiment",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="faultmatrix only: run the reduced CI server subset",
     )
     bench.set_defaults(fn=cmd_bench)
 

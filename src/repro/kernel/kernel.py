@@ -248,7 +248,9 @@ class Kernel:
                     elif obj.kind == "listener":
                         self.net.release_port(obj)
                     elif obj.kind == "unix":
-                        obj.closed = True
+                        # close() also drains undelivered fd-passing
+                        # messages so a dead channel pins nothing.
+                        obj.close()
         process.exited = True
         process.exit_status = status
         namespace = getattr(process, "namespace", None) or self.pidns

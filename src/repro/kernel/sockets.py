@@ -127,6 +127,17 @@ class UnixEndpoint(_RefCounted):
     def recvmsg(self) -> Tuple[bytes, List[Any]]:
         return self.inbox.pop(0)
 
+    def close(self) -> None:
+        """Drop this side, discarding undelivered messages.
+
+        In-flight messages may carry kernel-object references (SCM_RIGHTS
+        fd passing); a receiver holds no refcount on them until recvmsg
+        installs them, so draining the queue is the correct disposal — it
+        must not release objects the sender's fd table still owns.
+        """
+        self.closed = True
+        self.inbox.clear()
+
 
 class EpollObject(_RefCounted):
     """An epoll instance: in-kernel interest set + readiness query.

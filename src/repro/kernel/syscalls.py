@@ -357,7 +357,8 @@ class SyscallTable:
                 elif obj.kind == "listener":
                     self.kernel.net.release_port(obj)
                 elif obj.kind == "unix":
-                    obj.closed = True
+                    # Drains undelivered fd-passing messages too.
+                    obj.close()
         else:
             if obj.kind == "stream":
                 obj.close()

@@ -20,6 +20,8 @@ class MCRConfig:
         unblockify_poll_cost_ns: int = 1_200,    # cost of each re-arm
         unblockify_entry_cost_ns: int = 260,     # wrapper entry per call
         quiescence_deadline_ns: int = 1_000_000_000,  # 1 s barrier deadline
+        quiescence_max_retries: int = 2,         # extra wait attempts on timeout
+        quiescence_backoff_ns: int = 25_000_000, # first retry backoff (doubles)
         scan_opaque_int64: bool = True,          # pointer-sized ints are opaque
         scan_char_arrays: bool = True,           # char arrays are opaque
         transfer_shared_libs: bool = False,      # paper default: don't
@@ -27,11 +29,19 @@ class MCRConfig:
         interior_only_nonupdatable: bool = False,
         fast_scan: bool = True,                  # bulk kernels + interval index
         incremental_scan: bool = True,           # dirty-page scan memoization
+        faults=None,                             # FaultPlan (None = nothing armed)
+        verify_rollback: bool = True,            # fingerprint-check rolled-back trees
     ) -> None:
         self.unblockify_slice_ns = unblockify_slice_ns
         self.unblockify_poll_cost_ns = unblockify_poll_cost_ns
         self.unblockify_entry_cost_ns = unblockify_entry_cost_ns
         self.quiescence_deadline_ns = quiescence_deadline_ns
+        # On QuiescenceTimeout the controller retries the barrier wait up
+        # to ``quiescence_max_retries`` times, advancing the virtual clock
+        # by an exponentially growing backoff before each attempt, before
+        # declaring the update failed.
+        self.quiescence_max_retries = quiescence_max_retries
+        self.quiescence_backoff_ns = quiescence_backoff_ns
         self.scan_opaque_int64 = scan_opaque_int64
         self.scan_char_arrays = scan_char_arrays
         self.transfer_shared_libs = transfer_shared_libs
@@ -50,6 +60,15 @@ class MCRConfig:
         # written since (soft-dirty-style write sequencing).
         self.fast_scan = fast_scan
         self.incremental_scan = incremental_scan
+        # Fault injection (``repro.mcr.faults``): a ``FaultPlan`` armed at
+        # named pipeline sites, or None.  With None every injection point
+        # is a single attribute read, so the production path is untouched.
+        self.faults = faults
+        # After every rolled-back update, compare a host-side fingerprint
+        # of the old tree (memory CRCs, fd tables, allocator state,
+        # listeners) against the checkpoint-time capture and record the
+        # verdict in ``UpdateResult.rollback_verified``.
+        self.verify_rollback = verify_rollback
 
 
 class TransferCostModel:

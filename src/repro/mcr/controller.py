@@ -24,17 +24,19 @@
 
 from __future__ import annotations
 
+import sys as _host_sys
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro import obs
 from repro.clock import ns_to_ms
 from repro.obs.spans import STATUS_ERROR, STATUS_OK
-from repro.errors import ConflictError, MCRError, SimError
+from repro.errors import ConflictError, MCRError, QuiescenceTimeout, SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.namespaces import PidNamespace
 from repro.kernel.process import Process, sim_function
 from repro.kernel.syscalls import SyscallRequest
 from repro.mcr.config import MCRConfig, TransferCostModel
+from repro.mcr.faults import TreeFingerprint, fire
 from repro.mcr.quiescence.detection import tree_live_threads
 from repro.mcr.reinit.immutable import FdStash, ImmutableInventory
 from repro.mcr.reinit.realloc import GlobalRealloc
@@ -134,6 +136,23 @@ class UpdateResult:
         self.committed = False
         self.rolled_back = False
         self.error: Optional[BaseException] = None
+        # Which pipeline site failed ("transfer.memory", "reinit.replay",
+        # ...): the injected fault's site tag when one fired, otherwise
+        # derived from the deepest error span of the update trace.
+        self.failure_site: Optional[str] = None
+        # Quiescence retry attempts consumed before the barrier converged
+        # (0 = first wait succeeded).
+        self.retries = 0
+        # After a rollback: True if the old tree's fingerprint matched the
+        # checkpoint capture, False if it diverged, None if no comparable
+        # baseline existed (verification off, or the failure happened
+        # while old threads were still running toward the barrier).
+        self.rollback_verified: Optional[bool] = None
+        # True if any rollback step itself faulted (double fault).  The
+        # rollback still completes its remaining steps and the old tree
+        # keeps serving; this flag plus the ``update.rollback_failed``
+        # event are the loud degradation the paper requires.
+        self.rollback_failed = False
         self.quiescence_ns = 0
         self.control_migration_ns = 0
         self.restore_ns = 0
@@ -205,6 +224,14 @@ class LiveUpdateController:
         self.use_dirty_filter = use_dirty_filter  # ablation knob
         self.match_strategy = match_strategy      # "callstack" | "sequential"
         self.new_session: Optional[MCRSession] = None
+        # Transaction state (see run_update): once the point of no return
+        # is crossed the old tree is gone and any fault rolls *forward*.
+        self._past_point_of_no_return = False
+        self._rolled_back = False
+        self._rollback_failures: List[str] = []
+        # The global-inheritance socketpair, kept so rollback can drain
+        # in-flight fd messages if the handoff dies mid-stream.
+        self._boot_channel: Optional[Tuple[Any, Any]] = None
 
     # -- public API -------------------------------------------------------------
 
@@ -213,24 +240,44 @@ class LiveUpdateController:
         clock = self.kernel.clock
         recorder = obs.recorder_for(clock)
         new_root: Optional[Process] = None
+        # Rollback verification baselines (host-side only; never touch the
+        # virtual clock).  The entry capture covers failures that strike
+        # before the barrier converges — usable only if no old thread ran
+        # in between, hence the steps_executed stamp.  The checkpoint
+        # capture, taken once the tree is quiesced, is authoritative.
+        verify = bool(getattr(self.config, "verify_rollback", True))
+        entry_fp: Optional[TreeFingerprint] = None
+        checkpoint_fp: Optional[TreeFingerprint] = None
+        entry_steps = self.kernel.steps_executed
+        if verify and getattr(self.config, "faults", None) is not None:
+            # Only an injected fault can fail before any old thread runs;
+            # a real pre-quiescence failure executes kernel steps and
+            # invalidates this baseline anyway, so skip the capture when
+            # nothing is armed.
+            entry_fp = TreeFingerprint.capture(self.kernel, self.old_root)
         root = recorder.begin(
             "update",
             program=self.new_program.name,
             to_version=self.new_program.version,
         )
         try:
-            # 1. Checkpoint: quiesce the old version.
+            # 1. Checkpoint: quiesce the old version (bounded retries with
+            # exponential backoff before declaring QuiescenceTimeout).
             with recorder.span("quiescence"):
                 self.old_session.quiescence.request()
-                self.old_session.quiescence.wait(self.old_root)
+                self._quiesce_with_retry(result)
+            if verify:
+                checkpoint_fp = TreeFingerprint.capture(self.kernel, self.old_root)
             # 2. Offline analysis -> immutable set + realloc plan.
             with recorder.span("offline-analysis"):
+                fire(self.config, "offline.analysis")
                 plan = self._offline_analysis()
             # 3. Restart the new version under replay.
             with recorder.span("restart"):
                 new_root = self._restart(plan)
                 result.new_root = new_root
             with recorder.span("control-migration"):
+                fire(self.config, "control.migration")
                 self._run_control_migration(new_root)
             # 4. Volatile state + post-startup descriptor restore.  The
             # handlers only *create* counterpart processes/threads; their
@@ -256,30 +303,143 @@ class LiveUpdateController:
                     s.objects_transferred for s in report.per_process
                 )
                 clock.advance(report.total_ns)  # clients wait out the transfer
-            # 6. Commit.
+            # 6. Commit: prepare (still abortable), then the critical
+            # section.  Destroying the old tree is the point of no return.
             with recorder.span("commit"):
-                self._commit(new_root)
+                self._commit_prepare(new_root)
+                self._past_point_of_no_return = True
+                self._commit_critical(new_root)
             result.committed = True
             result.new_session = self.new_session
             recorder.end(root, status=STATUS_OK)
-        except (MCRError, SimError, ConflictError) as error:
-            with recorder.span("rollback", reason=str(error)):
-                self._rollback(new_root)
-            result.rolled_back = True
+        except (MCRError, SimError) as error:
             result.error = error
-            recorder.end(root, status="rolled_back")
+            result.failure_site = (
+                getattr(error, "fault_site", None)
+                or self._derive_failure_site(root)
+            )
+            if self._past_point_of_no_return:
+                # The old tree is already gone: the only safe direction is
+                # forward.  Finish the (idempotent) commit steps and
+                # surface the contained fault loudly.
+                self._finish_commit()
+                result.committed = True
+                result.new_session = self.new_session
+                root.attrs["commit_fault"] = repr(error)
+                obs.emit(
+                    "update.commit_fault_contained",
+                    severity="error",
+                    site=result.failure_site,
+                    error=repr(error),
+                )
+                recorder.end(root, status=STATUS_OK)
+            else:
+                with recorder.span("rollback", reason=str(error)):
+                    self._rollback(new_root)
+                result.rolled_back = True
+                result.rollback_failed = bool(self._rollback_failures)
+                if verify:
+                    self._verify_rollback(
+                        result, checkpoint_fp, entry_fp, entry_steps
+                    )
+                recorder.end(root, status="rolled_back")
         finally:
-            # Never leave the shared recorder with a dangling open root.
+            # Never leave the shared recorder with a dangling open root —
+            # even if an exception escaped the handler above, the root
+            # span closes with status=error and the error attached.
             if not root.closed:
+                in_flight = result.error or _host_sys.exc_info()[1]
+                if in_flight is not None:
+                    root.attrs["error"] = repr(in_flight)
                 recorder.end(root, status=STATUS_ERROR)
         result.finalize_from_spans(root)
+        self._emit_finished(result)
+        return result
+
+    # -- transaction helpers ------------------------------------------------------
+
+    def _quiesce_with_retry(self, result: UpdateResult) -> None:
+        """Wait for the barrier; on timeout, back off and retry (bounded)."""
+        max_retries = getattr(self.config, "quiescence_max_retries", 0)
+        backoff_ns = getattr(self.config, "quiescence_backoff_ns", 0)
+        while True:
+            try:
+                self.old_session.quiescence.wait(self.old_root, config=self.config)
+                return
+            except QuiescenceTimeout:
+                if result.retries >= max_retries:
+                    raise
+                result.retries += 1
+                obs.emit(
+                    "update.quiescence_retry",
+                    severity="warn",
+                    attempt=result.retries,
+                    backoff_ns=backoff_ns,
+                )
+                # Give in-flight work time to drain before the next wait.
+                if backoff_ns:
+                    self.kernel.clock.advance(backoff_ns)
+                    backoff_ns *= 2
+
+    def _derive_failure_site(self, root: "obs.Span") -> Optional[str]:
+        """Deepest errored span of the update trace = the failing phase."""
+        site = None
+        for span in root.walk():
+            if span is root or span.name == "rollback":
+                continue
+            if span.status == STATUS_ERROR:
+                site = span.name
+        return site
+
+    def _verify_rollback(
+        self,
+        result: UpdateResult,
+        checkpoint_fp: Optional[TreeFingerprint],
+        entry_fp: Optional[TreeFingerprint],
+        entry_steps: int,
+    ) -> None:
+        baseline = checkpoint_fp
+        if baseline is None and self.kernel.steps_executed == entry_steps:
+            baseline = entry_fp
+        if baseline is None:
+            return  # old threads ran since capture: nothing comparable
+        try:
+            after = TreeFingerprint.capture(self.kernel, self.old_root)
+            problems = baseline.diff(after)
+        except BaseException as error:  # verification must never throw
+            problems = [f"fingerprint capture failed: {error!r}"]
+        result.rollback_verified = not problems
+        if problems:
+            obs.emit(
+                "update.rollback_divergence",
+                severity="error",
+                problems="; ".join(problems[:8]),
+            )
+
+    def _emit_finished(self, result: UpdateResult) -> None:
+        fields: dict = {
+            "committed": result.committed,
+            "rolled_back": result.rolled_back,
+            "total_ns": result.total_ns,
+            "retries": result.retries,
+        }
+        if result.error is not None:
+            fields["error"] = type(result.error).__name__
+            if isinstance(result.error, ConflictError):
+                fields["conflict_origin"] = result.error.origin
+                fields["conflict_subject"] = result.error.subject
+        if result.failure_site is not None:
+            fields["failure_site"] = result.failure_site
+        if result.rolled_back:
+            fields["rollback_verified"] = result.rollback_verified
+            fields["rollback_failed"] = result.rollback_failed
         obs.emit(
             "update.finished",
-            severity="info" if result.committed else "warn",
-            committed=result.committed,
-            total_ns=result.total_ns,
+            severity="info" if result.committed and result.error is None
+            else "error" if result.rollback_failed
+            else "warn",
+            **fields,
         )
-        return result
 
     # -- stages ------------------------------------------------------------------
 
@@ -305,6 +465,7 @@ class LiveUpdateController:
         return plan
 
     def _restart(self, plan: GlobalRealloc) -> Process:
+        fire(self.config, "restart.spawn")
         session = MCRSession(
             self.kernel, self.new_program, self.build, self.config, role="restart"
         )
@@ -331,7 +492,9 @@ class LiveUpdateController:
         session.quiescence.request()
         # Global inheritance: ship every old descriptor over a Unix socket.
         receiver, sender = self.kernel.net.socketpair()
+        self._boot_channel = (receiver, sender)
         for entry in inventory.fd_entries:
+            fire(self.config, "restart.fd_handoff")
             header = f"{entry.src_pid}:{entry.src_fd}".encode()
             sender.sendmsg(header, [entry.obj])
         sender.closed = True
@@ -392,6 +555,7 @@ class LiveUpdateController:
         if annotations is None:
             return
         for handler in annotations.handlers_for_stage("post_startup"):
+            fire(self.config, "restore.handlers")
             handler.handler(RestoreContext(self, new_root))
 
     def _converge_volatile(self, new_root: Process) -> None:
@@ -414,6 +578,7 @@ class LiveUpdateController:
             for fd, obj in old_proc.fdtable.items():
                 if fd in new_proc.fdtable:
                     continue
+                fire(self.config, "restore.fds")
                 acquire = getattr(obj, "acquire", None)
                 if acquire is not None:
                     acquire()
@@ -423,15 +588,119 @@ class LiveUpdateController:
                 restored += 1
         self.kernel.clock.advance(restored * self.cost.per_fd_restore_ns)
 
-    def _commit(self, new_root: Process) -> None:
+    def _commit_prepare(self, new_root: Process) -> None:
+        """Everything commit needs that can still fail safely.
+
+        Validates the new tree is in a committable state (quiescent, with
+        a live session) while the old tree is still intact: a fault here
+        rolls back like any earlier phase.
+        """
+        fire(self.config, "commit.prepare")
+        session = self.new_session
+        if session is None:
+            raise MCRError("commit without a restarted session")
+        if not session.quiescence.is_quiescent(new_root):
+            raise MCRError("commit attempted before the new tree quiesced")
+
+    def _commit_critical(self, new_root: Process) -> None:
+        """The critical section: destroying the old tree is irreversible.
+
+        Any fault past this point is contained by ``run_update`` rolling
+        *forward* — re-running the idempotent ``_finish_commit`` so the
+        new version always ends up serving.
+        """
         self.kernel.terminate_tree(self.old_root)
+        fire(self.config, "commit.critical")
+        self._finish_commit()
+
+    def _finish_commit(self) -> None:
+        """Idempotent tail of commit: release barriers, flip the phase."""
         self.old_session.quiescence.release()
         self.new_session.phase = PHASE_NORMAL
         self.new_session.quiescence.release()
 
+    def _commit(self, new_root: Process) -> None:
+        """Single-shot commit (kept for direct callers/tests)."""
+        self._commit_prepare(new_root)
+        self._past_point_of_no_return = True
+        self._commit_critical(new_root)
+
     def _rollback(self, new_root: Optional[Process]) -> None:
-        """Atomic reversal: destroy the new tree, resume the old version."""
+        """Atomic reversal: destroy the new tree, resume the old version.
+
+        Idempotent and double-fault-safe: each teardown step runs under
+        its own guard, so one faulting step (including an injected
+        ``rollback`` fault) never prevents the remaining steps — the old
+        version is *always* resumed.  Step failures are recorded in
+        ``_rollback_failures`` and surfaced as ``update.rollback_failed``
+        events, never raised.
+        """
+        if self._rolled_back:
+            return
+        self._rolled_back = True
+        self._rollback_step("fault-injection", lambda: fire(self.config, "rollback"))
+        self._rollback_step("drain-boot-channel", self._drain_boot_channel)
         if new_root is not None:
-            self.kernel.terminate_tree(new_root)
-        self.old_session.startup_log.reset_consumption()
-        self.old_session.quiescence.release()
+            self._rollback_step(
+                "terminate-new-tree",
+                lambda: self.kernel.terminate_tree(new_root),
+            )
+        self._rollback_step("readopt-listeners", self._readopt_old_listeners)
+        self._rollback_step(
+            "reset-startup-log", self.old_session.startup_log.reset_consumption
+        )
+        self._rollback_step(
+            "release-quiescence", self.old_session.quiescence.release
+        )
+
+    def _rollback_step(self, label: str, action: Callable[[], None]) -> None:
+        try:
+            action()
+        except BaseException as error:
+            self._rollback_failures.append(f"{label}: {error!r}")
+            obs.emit(
+                "update.rollback_failed",
+                severity="error",
+                step=label,
+                error=repr(error),
+            )
+
+    def _drain_boot_channel(self) -> None:
+        """Discard in-flight fd-handoff messages (handoff died mid-stream).
+
+        The messages hold references to old-version kernel objects; the
+        old fd tables still own them, so dropping the queue copies leaks
+        nothing — but leaving them queued would pin a one-sided channel.
+        """
+        if self._boot_channel is None:
+            return
+        receiver, sender = self._boot_channel
+        self._boot_channel = None
+        for endpoint in (receiver, sender):
+            close = getattr(endpoint, "close", None)
+            if close is not None:
+                close()
+            else:  # pragma: no cover - defensive for stub endpoints
+                endpoint.closed = True
+
+    def _readopt_old_listeners(self) -> None:
+        """Ensure every old-tree listener is registered and open.
+
+        Normally a no-op: the new tree only ever shared the old listener
+        objects, and terminating it drops shares without releasing ports.
+        But if a partially-restarted tree closed or displaced a listener,
+        re-adoption restores the old version's network identity; anything
+        we had to repair is reported.
+        """
+        net = self.kernel.net
+        for process in self.old_root.tree():
+            for _fd, obj in process.fdtable.items():
+                if getattr(obj, "kind", None) != "listener":
+                    continue
+                if obj.closed or net._listeners.get(obj.port) is not obj:
+                    net.adopt_listener(obj)
+                    obs.emit(
+                        "update.listener_readopted",
+                        severity="warn",
+                        port=obj.port,
+                    )

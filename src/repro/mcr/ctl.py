@@ -31,7 +31,7 @@ class McrCtl:
         session = self.session
         root = session.root_process
         tree = root.tree() if root is not None else []
-        return {
+        status: Dict[str, object] = {
             "program": session.program.name,
             "version": session.program.version,
             "phase": session.phase,
@@ -41,6 +41,14 @@ class McrCtl:
             "startup_log_records": len(session.startup_log),
             "metadata_bytes": session.metadata_bytes(),
         }
+        if self.history:
+            last = self.history[-1]
+            status["last_update"] = "committed" if last.committed else "rolled_back"
+            status["last_update_failure_site"] = last.failure_site
+            status["last_update_retries"] = last.retries
+            if last.rolled_back:
+                status["last_update_rollback_verified"] = last.rollback_verified
+        return status
 
     def live_update(
         self,

@@ -138,6 +138,22 @@ def describe_update(result) -> str:
     lines = ["live update report", "=" * 19]
     status = "COMMITTED" if result.committed else "ROLLED BACK"
     lines.append(f"status: {status}")
+    if result.failure_site:
+        lines.append(f"failure site: {result.failure_site}")
+    if result.retries:
+        lines.append(f"quiescence retries: {result.retries}")
+    if result.rolled_back:
+        verdict = {
+            True: "verified intact",
+            False: "DIVERGED from checkpoint",
+            None: "not checked",
+        }[result.rollback_verified]
+        lines.append(f"old-version fingerprint: {verdict}")
+        if result.rollback_failed:
+            lines.append(
+                "rollback degraded: one or more rollback steps failed "
+                "(see update.rollback_failed events)"
+            )
     lines.append(f"quiescence:        {ns_to_ms(result.quiescence_ns):8.2f} ms")
     lines.append(f"control migration: {ns_to_ms(result.control_migration_ns):8.2f} ms")
     lines.append(f"volatile restore:  {ns_to_ms(result.restore_ns):8.2f} ms")

@@ -19,6 +19,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.errors import QuiescenceTimeout
 from repro.kernel.kernel import Barrier, Kernel
+from repro.mcr.faults import fire
 from repro.kernel.process import BLOCKED, Process, Thread
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,11 +64,24 @@ class QuiescenceProtocol:
                     return False
         return any_thread
 
-    def wait(self, root: Process, deadline_ns: Optional[int] = None) -> int:
-        """Run the world until quiescent; returns quiescence time (ns)."""
+    def wait(
+        self,
+        root: Process,
+        deadline_ns: Optional[int] = None,
+        config=None,
+    ) -> int:
+        """Run the world until quiescent; returns quiescence time (ns).
+
+        ``config`` is the *controller's* MCRConfig when an update drives
+        this wait — its fault plan and deadline can differ from the
+        session's; direct callers fall back to the session config.
+        """
         kernel: Kernel = self.session.kernel
+        if config is None:
+            config = self.session.config
+        fire(config, "quiescence.wait")
         if deadline_ns is None:
-            deadline_ns = self.session.config.quiescence_deadline_ns
+            deadline_ns = config.quiescence_deadline_ns
         start_ns = kernel.clock.now_ns
         kernel.run(
             until=lambda: self.is_quiescent(root),

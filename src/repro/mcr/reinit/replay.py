@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import ConflictError
 from repro.kernel.process import Process, Thread
+from repro.mcr.faults import fire
 from repro.kernel.syscalls import SyscallRequest
 from repro.mcr.reinit.callstack import deep_match, sanitize_args
 from repro.mcr.reinit.immutable import FdStash, ImmutableInventory
@@ -114,6 +115,10 @@ class ReplayEngine:
         process: Process = sys_api.process
         thread: Thread = sys_api.thread
         pid = process.pid
+        # The raise unwinds through the replaying thread's generator stack
+        # into the controller's kernel.run — the same route a real replay
+        # conflict takes.  nth-hit arming selects which replayed syscall.
+        fire(self.session.config, "reinit.replay")
         process.kernel.clock.advance(REPLAY_MATCH_COST_NS)
         translation = self.fd_translation.setdefault(pid, {})
         if self.match_strategy == "sequential":

@@ -33,6 +33,7 @@ from repro.clock import ns_to_ms
 from repro.errors import ConflictError, StateTransferError
 from repro.kernel.process import Process
 from repro.mcr.config import MCRConfig, TransferCostModel
+from repro.mcr.faults import fire
 from repro.mcr.tracing.dirty import DirtyFilter
 from repro.mcr.tracing.graph import (
     GraphBuilder,
@@ -358,6 +359,10 @@ class StateTransfer:
         translate,
         stats: ProcessTransferStats,
     ) -> None:
+        # Per-object injection points: nth-hit arming picks which object's
+        # copy (memory fault) or reallocation (allocator fault) dies.
+        fire(self.config, "transfer.memory")
+        fire(self.config, "transfer.allocator")
         annotations = getattr(self.new_program, "annotations", None)
         if record.region == REGION_LIB and not self.config.transfer_shared_libs:
             # Library state is reinitialized by the new version itself.

@@ -83,6 +83,11 @@ class MCRSession:
         self.startup_started_ns: Optional[int] = None
         self.startup_completed_ns: Optional[int] = None
 
+    @property
+    def faults(self):
+        """The session's armed ``FaultPlan`` (None = nothing armed)."""
+        return getattr(self.config, "faults", None)
+
     # -- process attachment ------------------------------------------------------
 
     def attach_process(self, process: Process) -> "MCRRuntime":

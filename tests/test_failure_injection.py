@@ -13,8 +13,10 @@ import pytest
 
 from repro.errors import ConflictError, SimError, StateTransferError
 from repro.kernel import Kernel, sim_function
+from repro.mcr.config import MCRConfig
 from repro.mcr.controller import LiveUpdateController
 from repro.mcr.ctl import McrCtl
+from repro.mcr.faults import FaultPlan
 from repro.mcr import controller as controller_module
 from repro.mcr.tracing.transfer import StateTransfer
 from repro.runtime.instrument import BuildConfig
@@ -149,6 +151,35 @@ class TestInjectedFailures:
         assert result.new_root is not None
         assert result.new_root.exited
         assert all(p.exited for p in result.new_root.tree()) or not result.new_root.tree()
+
+    def test_failed_update_does_not_leak_new_listener_port(self, kernel):
+        """A new version that binds an *extra* port during replay must give
+        that port back when the update rolls back — rollback audits and
+        closes every descriptor the aborted tree opened."""
+        _program, session, root = _boot(kernel)
+        _serve_one(kernel, "push 4", "ok 1")
+        v2 = simple.make_program(2)
+        inner_main = v2.main
+
+        @sim_function
+        def main_with_extra_listener(sys):
+            fd = yield from sys.socket()
+            yield from sys.bind(fd, 9999)
+            yield from sys.listen(fd)
+            yield from inner_main(sys)
+
+        v2.main = main_with_extra_listener
+        plan = FaultPlan().at("transfer.memory")
+        result = McrCtl(kernel, session).live_update(
+            v2, config=MCRConfig(faults=plan)
+        )
+        assert result.rolled_back
+        # The aborted version's port is released, not leaked...
+        assert 9999 not in kernel.net._listeners
+        # ...while the old version's listener is untouched and serving.
+        assert 8080 in kernel.net._listeners
+        assert not kernel.net._listeners[8080].closed
+        assert _serve_one(kernel, "sum", "sum 4") == "sum 4"
 
     def test_commit_terminates_old_tree_completely(self, kernel):
         _program, session, root = _boot(kernel)
