@@ -181,7 +181,9 @@ def _arm(site: str) -> FaultPlan:
     return plan
 
 
-def run_cell(server: str, site: str) -> Dict[str, object]:
+def run_cell(
+    server: str, site: str, blackbox_path: Optional[str] = None
+) -> Dict[str, object]:
     spec = _MATRIX[server]
     world = _boot(server)
     spec["bench"]().run(world.kernel)
@@ -190,7 +192,7 @@ def run_cell(server: str, site: str) -> Dict[str, object]:
         holder = ConnectionHolder(world.port, _HELD_CONNECTIONS, spec["holder_kind"])
         holder.establish(world.kernel)
     plan = _arm(site)
-    config = MCRConfig(faults=plan)
+    config = MCRConfig(faults=plan, blackbox_path=blackbox_path)
     ctl = McrCtl(world.kernel, world.session)
     raised: Optional[str] = None
     result = None
@@ -215,6 +217,26 @@ def run_cell(server: str, site: str) -> Dict[str, object]:
         "rollback_failed": bool(result.rollback_failed) if result else False,
         "error": type(result.error).__name__ if result and result.error else None,
     }
+    # Black-box post-mortem: every failed cell must have dumped one whose
+    # most recent injected-fault entry names the site we actually fired.
+    blackbox = result.blackbox if result is not None else None
+    if blackbox is not None:
+        last_fault = blackbox.get("last_fault")
+        last_fault_site = (
+            last_fault["payload"].get("site") if last_fault else None
+        )
+        cell["blackbox"] = {
+            "reason": blackbox.get("reason"),
+            "failure_site": blackbox.get("failure_site"),
+            "last_fault_site": last_fault_site,
+            "entries": len(blackbox.get("entries", [])),
+            "bytes_used": blackbox.get("bytes_used"),
+            "samples_taken": blackbox.get("samples_taken"),
+            "path": result.blackbox_path,
+        }
+        cell["blackbox_matches_site"] = bool(fired) and last_fault_site == fired[-1]
+    else:
+        cell["blackbox_matches_site"] = None
     # Survival: whichever version should now be serving answers traffic.
     listener = world.kernel.net.listener_for(world.port)
     probe = spec["probe"]()
@@ -248,13 +270,18 @@ def run_cell(server: str, site: str) -> Dict[str, object]:
 
 
 def run_faultmatrix(
-    servers: Optional[Sequence[str]] = None, smoke: bool = False
+    servers: Optional[Sequence[str]] = None,
+    smoke: bool = False,
+    blackbox_path: Optional[str] = None,
 ) -> Dict[str, object]:
     names = tuple(servers) if servers else (SMOKE_SERVERS if smoke else FULL_SERVERS)
     cells: List[Dict[str, object]] = []
     for server in names:
         for site in SITES:
-            cells.append(run_cell(server, site))
+            cells.append(run_cell(server, site, blackbox_path=blackbox_path))
+    # Every rolled-back cell must have produced a black box whose last
+    # injected fault matches the site the cell armed and fired.
+    rolled_back = [c for c in cells if c["rolled_back"]]
     return {
         "servers": list(names),
         "sites": list(SITES),
@@ -265,6 +292,9 @@ def run_faultmatrix(
         "all_survived": all(c["survived"] for c in cells),
         "all_old_version_intact": all(c["old_version_intact"] for c in cells),
         "any_raised": any(c["raised"] for c in cells),
+        "all_blackbox_match": all(
+            c["blackbox_matches_site"] is True for c in rolled_back
+        ),
     }
 
 
@@ -294,7 +324,8 @@ def render(results: Dict[str, object]) -> str:
         f"{results['cells_fired']} faults fired, "
         f"all_survived={results['all_survived']}, "
         f"all_old_version_intact={results['all_old_version_intact']}, "
-        f"any_raised={results['any_raised']}"
+        f"any_raised={results['any_raised']}, "
+        f"all_blackbox_match={results.get('all_blackbox_match')}"
     )
     return "\n".join(
         [

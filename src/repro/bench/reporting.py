@@ -1,10 +1,18 @@
-"""Plain-text table rendering for benchmark output."""
+"""Plain-text table rendering and latency summarization for benchmarks.
+
+Every benchmark that reports a latency distribution goes through
+``latency_summary_ms`` — one shared path onto ``repro.obs.metrics``'s
+histogram type, so percentile semantics (nearest-rank, bucket-resolved)
+and ms formatting are identical everywhere instead of re-derived ad hoc
+per benchmark.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Sequence
 
 from repro.clock import fmt_value as _fmt
+from repro.obs.metrics import Histogram
 
 
 def render_table(
@@ -31,3 +39,21 @@ def paper_vs_measured(paper: Dict[str, Any], measured: Dict[str, Any]) -> List[L
     """Side-by-side rows for EXPERIMENTS.md-style comparisons."""
     keys = sorted(set(paper) | set(measured))
     return [[k, paper.get(k, "-"), measured.get(k, "-")] for k in keys]
+
+
+def latency_summary_ms(
+    latencies_ns: Sequence[int], prefix: str = "client"
+) -> Dict[str, Any]:
+    """Histogram-backed ms summary of a latency sample, keys prefixed.
+
+    Returns ``{"<prefix>_requests", "<prefix>_p50_ms", "<prefix>_p95_ms",
+    "<prefix>_p99_ms", "<prefix>_max_ms"}``.
+    """
+    summary = Histogram.from_values(f"{prefix}.latency_ns", latencies_ns).summary_ms()
+    return {
+        f"{prefix}_requests": summary["count"],
+        f"{prefix}_p50_ms": summary["p50_ms"],
+        f"{prefix}_p95_ms": summary["p95_ms"],
+        f"{prefix}_p99_ms": summary["p99_ms"],
+        f"{prefix}_max_ms": summary["max_ms"],
+    }

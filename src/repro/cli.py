@@ -14,6 +14,10 @@ Commands:
 * ``trace [server]``         — live-update a server under an installed
   observability collector and print the span tree + counters;
   ``--export FILE`` writes a Chrome ``trace_event`` JSON (Perfetto).
+* ``metrics [server]``       — live-update a server *mid-flight* under its
+  demo workload and print the client-perceived verdict: latency
+  histogram percentiles, the blackout interval, the SLO verdict, and a
+  Prometheus text exposition; ``--json`` writes ``METRICS_<server>.json``.
 * ``status [server]``        — boot a server and print ``mcr-ctl status``.
 """
 
@@ -154,10 +158,11 @@ def _bench_memusage():
     return results, render(results)
 
 
-def _bench_updatetime():
+def _bench_updatetime(smoke: bool = False):
     from repro.bench.updatetime import render, run_updatetime
 
-    results = run_updatetime()
+    results = run_updatetime(servers=("httpd", "vsftpd") if smoke else
+                             ("httpd", "nginx", "vsftpd", "opensshd"))
     return results, render(results)
 
 
@@ -178,7 +183,10 @@ def _bench_scanperf():
 def _bench_faultmatrix(smoke: bool = False):
     from repro.bench.faultmatrix import render, run_faultmatrix
 
-    results = run_faultmatrix(smoke=smoke)
+    # Each failed cell overwrites blackbox.json, so the artifact that
+    # survives the run is the post-mortem of the *last* injected fault —
+    # CI uploads it and checks it names the site that fired.
+    results = run_faultmatrix(smoke=smoke, blackbox_path="blackbox.json")
     return results, render(results)
 
 
@@ -200,8 +208,10 @@ BENCH_EXPERIMENTS = {
 def cmd_bench(args) -> int:
     names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        if name == "faultmatrix":
-            results, text = _bench_faultmatrix(smoke=getattr(args, "smoke", False))
+        if name in ("faultmatrix", "updatetime"):
+            results, text = BENCH_EXPERIMENTS[name](
+                smoke=getattr(args, "smoke", False)
+            )
         else:
             results, text = BENCH_EXPERIMENTS[name]()
         print(text, end="\n\n")
@@ -261,6 +271,65 @@ def cmd_trace(args) -> int:
     return 0 if result.committed else 1
 
 
+def cmd_metrics(args) -> int:
+    """Mid-flight live update under the demo workload; report the client view."""
+    from repro import obs
+    from repro.mcr.ctl import McrCtl
+    from repro.obs.export import write_json
+    from repro.obs.metrics import prometheus_text
+    from repro.servers.common import ClientPerceived
+
+    name = args.server
+    kernel, module, program, session = _boot(name)
+    port = program.metadata.get("port")
+    workload = _demo_workload(name, port)
+    ctl = McrCtl(kernel, session)
+    # Warm up only a fraction of the workload's requests, so the update
+    # fires genuinely mid-flight and in-flight clients span the blackout
+    # (ApacheBench issues 40 requests; the FTP/SSH drivers only ~9-12).
+    warm = min(8, max(2, getattr(workload, "requests", 16) // 5))
+    with obs.collecting(kernel.clock) as collector:
+        clients = workload(kernel)
+        kernel.run(until=lambda: workload.latency.count >= warm, max_steps=2_000_000)
+        result = ctl.live_update(module.make_program(2))
+        kernel.run(
+            until=lambda: all(c.exited for c in clients), max_steps=5_000_000
+        )
+    budget_ns = getattr(session.config, "downtime_budget_ns", 1_000_000_000)
+    perceived = ClientPerceived.measure(workload.latency, budget_ns=budget_ns)
+    result.client = perceived
+    summary = perceived.to_dict()
+    status = "committed" if result.committed else "ROLLED BACK"
+    print(f"{name}: update {status} in {result.total_ms():.2f} ms")
+    print(
+        f"client-perceived: {summary['requests']} requests, "
+        f"p50 {summary['p50_ms']:.2f} ms, p95 {summary['p95_ms']:.2f} ms, "
+        f"p99 {summary['p99_ms']:.2f} ms, max {summary['max_ms']:.2f} ms"
+    )
+    verdict = "met" if summary["slo_ok"] else "violated"
+    print(
+        f"blackout: {summary['blackout_ms']:.2f} ms "
+        f"(budget {summary['downtime_budget_ms']:.0f} ms) -> SLO {verdict}"
+    )
+    print()
+    print(prometheus_text(counters=collector.counters, metrics=collector.metrics))
+    if args.json:
+        path = f"METRICS_{name}.json"
+        write_json(
+            path,
+            {
+                "server": name,
+                "committed": result.committed,
+                "workload_errors": workload.errors,
+                "client": summary,
+                "slo_verdict": verdict,
+                "metrics": collector.metrics.snapshot(),
+            },
+        )
+        print(f"wrote {path}")
+    return 0 if result.committed else 1
+
+
 def cmd_status(args) -> int:
     from repro.mcr.ctl import McrCtl
 
@@ -300,7 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="faultmatrix only: run the reduced CI server subset",
+        help="faultmatrix/updatetime: run the reduced CI server subset",
     )
     bench.set_defaults(fn=cmd_bench)
 
@@ -315,6 +384,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace_event JSON (open in Perfetto)",
     )
     trace.set_defaults(fn=cmd_trace)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="mid-flight live update; print the client-perceived verdict",
+    )
+    metrics.add_argument("server", nargs="?", default="simple", choices=SERVERS)
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="also write METRICS_<server>.json",
+    )
+    metrics.set_defaults(fn=cmd_metrics)
 
     status = subparsers.add_parser("status", help="mcr-ctl status of a server")
     status.add_argument("server", nargs="?", default="simple", choices=SERVERS)

@@ -323,6 +323,10 @@ class Kernel:
         collector = obs.ACTIVE
         if collector is not None:
             collector.counters.incr("kernel.steps")
+            # Scheduler tick hook: every N-th step the flight recorder
+            # takes a gauge sample of the world (runnable/blocked counts,
+            # allocator occupancy, fd totals, dirty faults).
+            collector.recorder.tick(self)
         try:
             if thread.pending_exception is not None:
                 exc = thread.pending_exception

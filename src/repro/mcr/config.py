@@ -31,6 +31,8 @@ class MCRConfig:
         incremental_scan: bool = True,           # dirty-page scan memoization
         faults=None,                             # FaultPlan (None = nothing armed)
         verify_rollback: bool = True,            # fingerprint-check rolled-back trees
+        downtime_budget_ns: int = 1_000_000_000, # client-perceived SLO budget (1 s)
+        blackbox_path=None,                      # where to dump blackbox.json
     ) -> None:
         self.unblockify_slice_ns = unblockify_slice_ns
         self.unblockify_poll_cost_ns = unblockify_poll_cost_ns
@@ -69,6 +71,16 @@ class MCRConfig:
         # listeners) against the checkpoint-time capture and record the
         # verdict in ``UpdateResult.rollback_verified``.
         self.verify_rollback = verify_rollback
+        # Client-perceived SLO: an update "meets SLO" when the measured
+        # blackout interval (longest gap in completed responses) stays
+        # within this budget.  The paper's headline claim is that the
+        # whole update takes well under 1 s, so that is the default.
+        self.downtime_budget_ns = downtime_budget_ns
+        # When set, every failed/rolled-back update dumps the flight
+        # recorder's black-box (last events, open span stack, tree
+        # fingerprint) to this path as JSON; None keeps it in memory only
+        # (``UpdateResult.blackbox``).
+        self.blackbox_path = blackbox_path
 
 
 class TransferCostModel:

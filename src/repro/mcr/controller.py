@@ -24,6 +24,7 @@
 
 from __future__ import annotations
 
+import json
 import sys as _host_sys
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -162,6 +163,15 @@ class UpdateResult:
         self.transfer_report: Optional[TransferReport] = None
         self.new_root: Optional[Process] = None
         self.new_session: Optional[MCRSession] = None
+        # Client-perceived verdict (``servers.common.ClientPerceived``) —
+        # attached by the measurement harness after its workload drains,
+        # since client latencies only complete once the update returns.
+        self.client = None
+        # Post-mortem black box: the flight-recorder dump attached to
+        # every failed update (rollback or contained commit fault), and
+        # the file path when ``config.blackbox_path`` wrote it out.
+        self.blackbox: Optional[dict] = None
+        self.blackbox_path: Optional[str] = None
 
     def total_ms(self) -> float:
         return ns_to_ms(self.total_ns)
@@ -238,6 +248,17 @@ class LiveUpdateController:
     def run_update(self) -> UpdateResult:
         result = UpdateResult()
         clock = self.kernel.clock
+        # Black-box recording rides on the event log -> flight recorder
+        # wiring, which needs a live collector.  When the caller installed
+        # none (or one bound to a different clock), run the update under a
+        # private collector so the post-mortem artifact exists even in
+        # bare harnesses; obs never advances the virtual clock, so every
+        # measured phase timing is identical either way.
+        private_collector: Optional[obs.Collector] = None
+        displaced: Optional[obs.Collector] = None
+        if obs.ACTIVE is None or obs.ACTIVE.clock is not clock:
+            private_collector = obs.Collector(clock)
+            displaced = obs.install(private_collector)
         recorder = obs.recorder_for(clock)
         new_root: Optional[Process] = None
         # Rollback verification baselines (host-side only; never touch the
@@ -332,10 +353,12 @@ class LiveUpdateController:
                     site=result.failure_site,
                     error=repr(error),
                 )
+                self._record_blackbox(result, recorder, "commit_fault_contained")
                 recorder.end(root, status=STATUS_OK)
             else:
                 with recorder.span("rollback", reason=str(error)):
                     self._rollback(new_root)
+                    self._record_blackbox(result, recorder, "rolled_back")
                 result.rolled_back = True
                 result.rollback_failed = bool(self._rollback_failures)
                 if verify:
@@ -352,6 +375,11 @@ class LiveUpdateController:
                 if in_flight is not None:
                     root.attrs["error"] = repr(in_flight)
                 recorder.end(root, status=STATUS_ERROR)
+            if private_collector is not None:
+                if displaced is not None:
+                    obs.install(displaced)
+                else:
+                    obs.uninstall()
         result.finalize_from_spans(root)
         self._emit_finished(result)
         return result
@@ -415,6 +443,54 @@ class LiveUpdateController:
                 severity="error",
                 problems="; ".join(problems[:8]),
             )
+
+    def _record_blackbox(
+        self,
+        result: UpdateResult,
+        recorder: "obs.SpanRecorder",
+        reason: str,
+    ) -> None:
+        """Dump the flight recorder into ``result.blackbox`` (post-mortem).
+
+        Runs on every failed update — rollback or contained commit fault.
+        The artifact bundles the last N events (including any injected
+        fault), the currently open span stack, periodic gauge samples,
+        and a fingerprint summary of the surviving tree.  Written to
+        ``config.blackbox_path`` when set; a write failure is reported,
+        never raised.
+        """
+        collector = obs.ACTIVE
+        if collector is None:  # pragma: no cover - private install covers this
+            return
+        survivor = result.new_root if self._past_point_of_no_return else self.old_root
+        fingerprint = None
+        try:
+            if survivor is not None:
+                fingerprint = TreeFingerprint.capture(self.kernel, survivor).summary()
+        except BaseException:  # the dump must never make a failure worse
+            fingerprint = None
+        result.blackbox = collector.recorder.dump(
+            reason,
+            failure_site=result.failure_site,
+            open_spans=[span.name for span in recorder._stack],
+            fingerprint=fingerprint,
+            error=repr(result.error),
+            program=self.new_program.name,
+            to_version=self.new_program.version,
+        )
+        path = getattr(self.config, "blackbox_path", None)
+        if path:
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(result.blackbox, handle, indent=2, sort_keys=True)
+                result.blackbox_path = str(path)
+            except OSError as error:
+                obs.emit(
+                    "update.blackbox_write_failed",
+                    severity="warn",
+                    path=str(path),
+                    error=repr(error),
+                )
 
     def _emit_finished(self, result: UpdateResult) -> None:
         fields: dict = {

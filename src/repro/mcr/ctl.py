@@ -48,7 +48,40 @@ class McrCtl:
             status["last_update_retries"] = last.retries
             if last.rolled_back:
                 status["last_update_rollback_verified"] = last.rollback_verified
+            if last.client is not None:
+                client = last.client.to_dict()
+                status["last_update_client_p99_ms"] = client["p99_ms"]
+                status["last_update_blackout_ms"] = client["blackout_ms"]
+                status["last_update_slo_ok"] = client["slo_ok"]
+            if last.blackbox_path is not None:
+                status["last_update_blackbox"] = last.blackbox_path
         return status
+
+    def stat(self) -> Dict[str, object]:
+        """What ``mcr-ctl stat`` would print: per-update detail.
+
+        ``status`` is the one-line health view; ``stat`` returns the full
+        update history with the client-perceived verdict per attempt.
+        """
+        updates = []
+        for result in self.history:
+            entry: Dict[str, object] = {
+                "committed": result.committed,
+                "rolled_back": result.rolled_back,
+                "failure_site": result.failure_site,
+                "retries": result.retries,
+                "total_ms": result.total_ms(),
+            }
+            if result.client is not None:
+                entry["client"] = result.client.to_dict()
+            if result.blackbox_path is not None:
+                entry["blackbox"] = result.blackbox_path
+            updates.append(entry)
+        return {
+            "program": self.session.program.name,
+            "version": self.session.program.version,
+            "updates": updates,
+        }
 
     def live_update(
         self,

@@ -154,6 +154,8 @@ def describe_update(result) -> str:
                 "rollback degraded: one or more rollback steps failed "
                 "(see update.rollback_failed events)"
             )
+    if result.blackbox_path:
+        lines.append(f"black box: {result.blackbox_path}")
     lines.append(f"quiescence:        {ns_to_ms(result.quiescence_ns):8.2f} ms")
     lines.append(f"control migration: {ns_to_ms(result.control_migration_ns):8.2f} ms")
     lines.append(f"volatile restore:  {ns_to_ms(result.restore_ns):8.2f} ms")
@@ -183,6 +185,25 @@ def describe_update(result) -> str:
                 f"{stats.pointers_fixed} pointers fixed, "
                 f"{stats.transforms} type transforms"
             )
+    client = getattr(result, "client", None)
+    if client is not None:
+        summary = client.to_dict()
+        lines.append("")
+        lines.append("client-perceived:")
+        lines.append(
+            f"  latency: p50 {summary['p50_ms']:.2f} ms, "
+            f"p95 {summary['p95_ms']:.2f} ms, "
+            f"p99 {summary['p99_ms']:.2f} ms, "
+            f"max {summary['max_ms']:.2f} ms "
+            f"({summary['requests']} requests)"
+        )
+        lines.append(
+            f"  blackout: {summary['blackout_ms']:.2f} ms "
+            f"(budget {summary['downtime_budget_ms']:.0f} ms)"
+        )
+        lines.append(
+            "  SLO: met" if summary["slo_ok"] else "  SLO: VIOLATED"
+        )
     if result.error is not None:
         lines.append("")
         lines.append(f"failure: {result.error}")

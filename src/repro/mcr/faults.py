@@ -355,3 +355,18 @@ class TreeFingerprint:
 
     def matches(self, other: "TreeFingerprint") -> bool:
         return not self.diff(other)
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact, JSON-safe digest for the black-box artifact."""
+        processes = {}
+        for (pid, name), (mem, fds, allocator) in sorted(self.processes.items()):
+            processes[f"{pid}:{name}"] = {
+                "mappings": len(mem),
+                "mapped_bytes": sum(m[2] for m in mem),
+                "fds": len(fds),
+                "allocator": list(allocator),
+            }
+        return {
+            "processes": processes,
+            "listeners": [list(entry) for entry in self.listeners],
+        }

@@ -32,6 +32,8 @@ from typing import Any, Iterator, Optional
 from repro.clock import VirtualClock
 from repro.obs.counters import CounterSet
 from repro.obs.events import DEFAULT_CAPACITY, EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
@@ -44,19 +46,28 @@ __all__ = [
     "gauge",
     "incr",
     "install",
+    "observe",
     "recorder_for",
     "uninstall",
 ]
 
 
 class Collector:
-    """Spans + counters + events recorded against one virtual clock."""
+    """Spans + counters + events + metrics recorded against one virtual clock.
+
+    The flight recorder is wired as an event-log subscriber, so its ring
+    mirrors every emitted event; the kernel scheduler additionally feeds
+    it periodic gauge samples through ``FlightRecorder.tick``.
+    """
 
     def __init__(self, clock: VirtualClock, max_events: int = DEFAULT_CAPACITY) -> None:
         self.clock = clock
         self.spans = SpanRecorder(clock)
         self.counters = CounterSet()
         self.events = EventLog(clock, capacity=max_events)
+        self.metrics = MetricsRegistry()
+        self.recorder = FlightRecorder(clock)
+        self.events.subscribe(self.recorder.on_event)
 
     def to_dict(self):
         from repro.obs.export import collector_to_dict
@@ -120,6 +131,13 @@ def gauge(name: str, value: Any) -> None:
     collector = ACTIVE
     if collector is not None:
         collector.counters.gauge(name, value)
+
+
+def observe(name: str, value: Any) -> None:
+    """Record one histogram observation on the active collector (or drop it)."""
+    collector = ACTIVE
+    if collector is not None:
+        collector.metrics.observe(name, value)
 
 
 def emit(name: str, severity: str = "info", **payload: Any) -> None:

@@ -44,6 +44,20 @@ class CounterSet:
             if name.startswith(prefix)
         }
 
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        """A new CounterSet with both value sets summed.
+
+        Cross-tree accounting (old-version collector + new-version
+        collector during an update) combines through this, so the result
+        never depends on either side's dict insertion order — ``snapshot``
+        of the merge is name-sorted like any other.
+        """
+        merged = CounterSet()
+        for source in (self, other):
+            for name, value in source._values.items():
+                merged.incr(name, value)
+        return merged
+
     def clear(self) -> None:
         self._values.clear()
 

@@ -50,11 +50,20 @@ class EventLog:
         self.clock = clock
         self.capacity = capacity
         self._ring: Deque[Event] = deque(maxlen=capacity)
+        self._listeners: List[Any] = []
         self.emitted = 0
 
     @property
     def dropped(self) -> int:
         return self.emitted - len(self._ring)
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(event)`` to see every emitted event.
+
+        The flight recorder subscribes here so its ring mirrors the event
+        stream without the hot emit path paying for two ring protocols.
+        """
+        self._listeners.append(listener)
 
     def emit(self, name: str, severity: str = "info", **payload: Any) -> Event:
         if severity not in SEVERITIES:
@@ -62,6 +71,8 @@ class EventLog:
         event = Event(self.clock.now_ns, severity, name, payload)
         self._ring.append(event)
         self.emitted += 1
+        for listener in self._listeners:
+            listener(event)
         return event
 
     def to_list(self) -> List[Dict[str, Any]]:

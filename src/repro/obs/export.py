@@ -28,13 +28,26 @@ _NS_PER_US = 1000.0
 
 def collector_to_dict(collector) -> Dict[str, Any]:
     """The full observability model of one collector as plain data."""
-    return {
+    payload = {
         "clock_ns": collector.clock.now_ns,
         "counters": collector.counters.snapshot(),
         "events": collector.events.to_list(),
         "events_dropped": collector.events.dropped,
         "spans": [root.to_dict() for root in collector.spans.roots],
     }
+    metrics = getattr(collector, "metrics", None)
+    if metrics is not None:
+        payload["metrics"] = metrics.snapshot()
+    recorder = getattr(collector, "recorder", None)
+    if recorder is not None:
+        payload["flight"] = {
+            "entries": recorder.to_list(),
+            "recorded": recorder.recorded,
+            "dropped": recorder.dropped,
+            "bytes_used": recorder.bytes_used,
+            "samples_taken": recorder.samples_taken,
+        }
+    return payload
 
 
 def spans_to_trace_events(roots: Iterable[Span], pid: int = 1, tid: int = 1) -> List[Dict[str, Any]]:
@@ -82,6 +95,25 @@ def chrome_trace(collector, process_name: str = "repro") -> Dict[str, Any]:
                 "args": dict(event.payload, severity=event.severity),
             }
         )
+    # Flight-recorder gauge samples become counter tracks *over time*, so
+    # runnable threads / heap occupancy / dirty faults render as series
+    # right under the span timeline.
+    recorder = getattr(collector, "recorder", None)
+    if recorder is not None:
+        for entry in recorder.entries():
+            if entry.kind != "sample":
+                continue
+            events.append(
+                {
+                    "name": f"flight.{entry.name}",
+                    "cat": "counters",
+                    "ph": "C",
+                    "ts": entry.ts_ns / _NS_PER_US,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": dict(sorted(entry.payload.items())),
+                }
+            )
     now_us = collector.clock.now_ns / _NS_PER_US
     for name, value in collector.counters.snapshot().items():
         events.append(
@@ -95,6 +127,27 @@ def chrome_trace(collector, process_name: str = "repro") -> Dict[str, Any]:
                 "args": {"value": value},
             }
         )
+    # Histogram summaries sample once at end-of-trace: count + percentiles.
+    metrics = getattr(collector, "metrics", None)
+    if metrics is not None:
+        for name in metrics.names():
+            summary = metrics.get(name).summary()
+            events.append(
+                {
+                    "name": f"hist.{name}",
+                    "cat": "metrics",
+                    "ph": "C",
+                    "ts": now_us,
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {
+                        "count": summary["count"],
+                        "p50": summary["p50"],
+                        "p95": summary["p95"],
+                        "p99": summary["p99"],
+                    },
+                }
+            )
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

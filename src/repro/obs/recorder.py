@@ -1,0 +1,198 @@
+"""The black-box flight recorder (`repro.obs.recorder`).
+
+An always-on, strictly bounded ring of the most recent observability
+traffic — every event the collector sees plus periodic gauge samples of
+the world (runnable threads, allocator occupancy, dirty-page faults, fd
+counts) taken from the kernel scheduler's step hook.  Like an aircraft
+black box, it costs almost nothing while things go well and is dumped
+*after* something goes wrong: ``LiveUpdateController._rollback`` (and
+fault containment past the point of no return) serialize the recording
+to a structured ``blackbox.json`` post-mortem artifact.
+
+Two budgets bound the recorder, and both are hard limits enforced on
+every append: ``max_entries`` (ring length) and ``max_bytes`` (the sum
+of per-entry cost estimates).  An entry that alone exceeds the byte
+budget is dropped, never stored — the recorder can *never* grow past
+its budgets, which the property tests flood-check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.clock import VirtualClock
+
+DEFAULT_MAX_ENTRIES = 512
+DEFAULT_MAX_BYTES = 64_000
+DEFAULT_SAMPLE_INTERVAL_STEPS = 2_048
+
+# Fixed per-entry overhead charged on top of the payload text estimate.
+_ENTRY_BASE_COST = 24
+
+
+class FlightEntry:
+    """One recorded moment: an obs event or a gauge sample."""
+
+    __slots__ = ("ts_ns", "kind", "name", "payload", "cost")
+
+    def __init__(self, ts_ns: int, kind: str, name: str, payload: Dict[str, Any]) -> None:
+        self.ts_ns = ts_ns
+        self.kind = kind
+        self.name = name
+        self.payload = payload
+        self.cost = _ENTRY_BASE_COST + len(kind) + len(name) + sum(
+            len(str(key)) + len(str(value)) for key, value in payload.items()
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ts_ns": self.ts_ns,
+            "kind": self.kind,
+            "name": self.name,
+            "payload": dict(self.payload),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlightEntry {self.kind}:{self.name} @{self.ts_ns}>"
+
+
+class FlightRecorder:
+    """Bounded ring of events + gauge samples, dumpable as a post-mortem."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        sample_interval_steps: int = DEFAULT_SAMPLE_INTERVAL_STEPS,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"flight recorder needs a positive entry budget, got {max_entries}")
+        if max_bytes <= 0:
+            raise ValueError(f"flight recorder needs a positive byte budget, got {max_bytes}")
+        if sample_interval_steps <= 0:
+            raise ValueError(
+                f"sample interval must be positive, got {sample_interval_steps}"
+            )
+        self.clock = clock
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.sample_interval_steps = sample_interval_steps
+        self._ring: Deque[FlightEntry] = deque()
+        self._bytes = 0
+        self._ticks = 0
+        self.recorded = 0
+        self.dropped = 0
+        self.samples_taken = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        payload: Dict[str, Any],
+        ts_ns: Optional[int] = None,
+    ) -> None:
+        entry = FlightEntry(
+            self.clock.now_ns if ts_ns is None else ts_ns, kind, name, payload
+        )
+        if entry.cost > self.max_bytes:
+            # A single over-budget entry is dropped outright: storing it
+            # would violate the byte bound no matter what we evict.
+            self.dropped += 1
+            return
+        self._ring.append(entry)
+        self._bytes += entry.cost
+        self.recorded += 1
+        while len(self._ring) > self.max_entries or self._bytes > self.max_bytes:
+            evicted = self._ring.popleft()
+            self._bytes -= evicted.cost
+            self.dropped += 1
+
+    def on_event(self, event) -> None:
+        """EventLog subscription hook: mirror every emitted event."""
+        self.record("event", event.name, event.payload, ts_ns=event.ts_ns)
+
+    # -- periodic world sampling (kernel scheduler tick hook) ------------------
+
+    def tick(self, kernel) -> None:
+        """Called once per scheduler step; samples every N-th tick."""
+        self._ticks += 1
+        if self._ticks % self.sample_interval_steps:
+            return
+        self.sample(kernel)
+
+    def sample(self, kernel) -> None:
+        """Record one gauge sample of the world's vital signs."""
+        processes = kernel.live_processes()
+        self.samples_taken += 1
+        self.record(
+            "sample",
+            "gauges",
+            {
+                "runnable": len(kernel._run_queue),
+                "blocked": len(kernel._blocked),
+                "processes": len(processes),
+                "fds": sum(len(p.fdtable.fds()) for p in processes),
+                "heap_live_bytes": sum(p.heap.live_bytes() for p in processes),
+                "heap_live_chunks": sum(p.heap.live_chunk_count() for p in processes),
+                "heap_free_bytes": sum(p.heap._free.total_free() for p in processes),
+                "dirty_faults": sum(p.space.soft_dirty_faults for p in processes),
+            },
+        )
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def entries(self) -> List[FlightEntry]:
+        return list(self._ring)
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        return [entry.to_dict() for entry in self._ring]
+
+    def last_event(self, name: str) -> Optional[Dict[str, Any]]:
+        """The most recent recorded event with the given name, if any."""
+        for entry in reversed(self._ring):
+            if entry.kind == "event" and entry.name == name:
+                return entry.to_dict()
+        return None
+
+    def dump(
+        self,
+        reason: str,
+        failure_site: Optional[str] = None,
+        open_spans: Optional[List[str]] = None,
+        fingerprint: Optional[Dict[str, Any]] = None,
+        **extra: Any,
+    ) -> Dict[str, Any]:
+        """The structured black-box document (``blackbox.json`` content)."""
+        return {
+            "reason": reason,
+            "ts_ns": self.clock.now_ns,
+            "failure_site": failure_site,
+            "last_fault": self.last_event("fault.injected"),
+            "open_spans": list(open_spans or []),
+            "fingerprint": fingerprint,
+            "entries": self.to_list(),
+            "entries_recorded": self.recorded,
+            "entries_dropped": self.dropped,
+            "bytes_used": self._bytes,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "samples_taken": self.samples_taken,
+            **extra,
+        }
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlightRecorder {len(self._ring)}/{self.max_entries} entries, "
+            f"{self._bytes}/{self.max_bytes} bytes>"
+        )

@@ -14,7 +14,7 @@ from typing import List
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, sim_function
-from repro.servers.common import connect_with_retry
+from repro.servers.common import ClientLatencyLog, connect_with_retry
 
 
 class ApacheBench:
@@ -33,7 +33,11 @@ class ApacheBench:
         self.path = path
         self.completed = 0
         self.errors = 0
-        self.latencies_ns: List[int] = []
+        self.latency = ClientLatencyLog()
+
+    @property
+    def latencies_ns(self) -> List[int]:
+        return self.latency.latencies_ns()
 
     def __call__(self, kernel: Kernel) -> List[Process]:
         per_client = max(1, self.requests // self.concurrency)
@@ -55,7 +59,7 @@ class ApacheBench:
                     bench.errors += 1
                     break
                 bench.completed += 1
-                bench.latencies_ns.append(clock.now_ns - start)
+                bench.latency.record(start, clock.now_ns)
             yield from sys.close(fd)
 
         return [

@@ -13,7 +13,7 @@ from typing import List
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, sim_function
-from repro.servers.common import connect_with_retry
+from repro.servers.common import ClientLatencyLog, connect_with_retry
 
 
 class FtpBench:
@@ -32,18 +32,21 @@ class FtpBench:
         self.path = path
         self.completed = 0
         self.errors = 0
+        self.latency = ClientLatencyLog()
 
     def __call__(self, kernel: Kernel) -> List[Process]:
         bench = self
 
         @sim_function
         def ftp_user(sys, user_index):
+            clock = sys.kernel.clock
             try:
                 fd = yield from connect_with_retry(sys, bench.port)
             except SimError:
                 bench.errors += 1
                 return
             yield from sys.recv(fd)  # banner
+            start = clock.now_ns
             yield from sys.send(fd, f"USER user{user_index}\n".encode())
             yield from sys.recv(fd)
             yield from sys.send(fd, b"PASS secret\n")
@@ -52,18 +55,24 @@ class FtpBench:
                 bench.errors += 1
                 yield from sys.close(fd)
                 return
+            bench.latency.record(start, clock.now_ns)  # login exchange
             for _ in range(bench.retrievals):
+                start = clock.now_ns
                 yield from sys.send(fd, f"RETR {bench.path}\n".encode())
                 data = yield from sys.recv(fd)
                 while data and b"226" not in data:
                     data = yield from sys.recv(fd)
                 if data:
                     bench.completed += 1
+                    bench.latency.record(start, clock.now_ns)
                 else:
                     bench.errors += 1
                     break
+            start = clock.now_ns
             yield from sys.send(fd, b"QUIT\n")
-            yield from sys.recv(fd)
+            reply = yield from sys.recv(fd)
+            if reply:
+                bench.latency.record(start, clock.now_ns)
             yield from sys.close(fd)
 
         return [

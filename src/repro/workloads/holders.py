@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, sim_function
-from repro.servers.common import connect_with_retry
+from repro.servers.common import ClientLatencyLog, connect_with_retry
 
 
 class ConnectionHolder:
@@ -31,6 +31,7 @@ class ConnectionHolder:
         self.errors = 0
         self._release = False
         self.clients: List[Process] = []
+        self.latency = ClientLatencyLog()
 
     def release(self) -> None:
         self._release = True
@@ -41,6 +42,7 @@ class ConnectionHolder:
 
         @sim_function
         def holder_client(sys, index):
+            clock = sys.kernel.clock
             try:
                 fd = yield from connect_with_retry(sys, holder.port, attempts=200)
             except SimError:
@@ -48,25 +50,33 @@ class ConnectionHolder:
                 return
             if holder.kind == "ftp":
                 yield from sys.recv(fd)  # banner
+                start = clock.now_ns
                 yield from sys.send(fd, f"USER hold{index}\n".encode())
                 yield from sys.recv(fd)
                 yield from sys.send(fd, b"PASS secret\n")
                 yield from sys.recv(fd)
+                holder.latency.record(start, clock.now_ns)  # login exchange
                 # One retrieval, so the held session carries transfer
                 # state (and its type-unsafe cached pointers).
+                start = clock.now_ns
                 yield from sys.send(fd, b"RETR /pub/readme.txt\n")
                 data = yield from sys.recv(fd)
                 while data and b"226" not in data:
                     data = yield from sys.recv(fd)
+                holder.latency.record(start, clock.now_ns)
             elif holder.kind == "ssh":
                 yield from sys.recv(fd)  # banner
+                start = clock.now_ns
                 yield from sys.send(fd, f"AUTH hold{index} pw\n".encode())
                 yield from sys.recv(fd)
+                holder.latency.record(start, clock.now_ns)
             else:
                 # HTTP: issue one request so the connection is fully
                 # established server-side (accepted + registered).
+                start = clock.now_ns
                 yield from sys.send(fd, b"GET /index.html\n")
                 yield from sys.recv(fd)
+                holder.latency.record(start, clock.now_ns)
             holder.ready += 1
             while not holder._release:
                 yield from sys.nanosleep(20_000_000)

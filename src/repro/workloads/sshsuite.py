@@ -12,7 +12,7 @@ from typing import List
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, sim_function
-from repro.servers.common import connect_with_retry
+from repro.servers.common import ClientLatencyLog, connect_with_retry
 
 
 class SshSuite:
@@ -24,33 +24,42 @@ class SshSuite:
         self.commands = commands
         self.completed = 0
         self.errors = 0
+        self.latency = ClientLatencyLog()
 
     def __call__(self, kernel: Kernel) -> List[Process]:
         suite = self
 
         @sim_function
         def ssh_session(sys, index):
+            clock = sys.kernel.clock
             try:
                 fd = yield from connect_with_retry(sys, suite.port)
             except SimError:
                 suite.errors += 1
                 return
             yield from sys.recv(fd)  # version banner
+            start = clock.now_ns
             yield from sys.send(fd, f"AUTH tester{index} hunter2\n".encode())
             reply = yield from sys.recv(fd)
             if not reply.startswith(b"auth-ok"):
                 suite.errors += 1
                 yield from sys.close(fd)
                 return
+            suite.latency.record(start, clock.now_ns)  # auth exchange
             for step in range(suite.commands):
+                start = clock.now_ns
                 yield from sys.send(fd, f"EXEC test-step-{step}\n".encode())
                 reply = yield from sys.recv(fd)
                 if reply.startswith(b"helper-output"):
                     suite.completed += 1
+                    suite.latency.record(start, clock.now_ns)
                 else:
                     suite.errors += 1
+            start = clock.now_ns
             yield from sys.send(fd, b"QUIT\n")
-            yield from sys.recv(fd)
+            reply = yield from sys.recv(fd)
+            if reply:
+                suite.latency.record(start, clock.now_ns)
             yield from sys.close(fd)
 
         return [

@@ -1,0 +1,554 @@
+"""Tests for client-perceived metrics and the flight recorder (PR 4).
+
+Covers the histogram/percentile machinery (including the hypothesis
+property that bucket-resolved percentiles land in the same bucket as the
+exact nearest-rank reference), the flight recorder's hard budgets under
+floods, the blackout-interval measurement, the controller's black-box
+dump on rollback, and the ``metrics`` CLI command.
+"""
+
+import json
+import math
+from bisect import bisect_left
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.bench.reporting import latency_summary_ms
+from repro.bench.updatetime import measure_client_perceived
+from repro.cli import main
+from repro.clock import VirtualClock, ns_to_ms
+from repro.kernel import Kernel
+from repro.mcr.config import MCRConfig
+from repro.mcr.ctl import McrCtl
+from repro.mcr.faults import FaultPlan
+from repro.obs.counters import CounterSet
+from repro.obs.export import chrome_trace, collector_to_dict
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDARIES_NS,
+    Histogram,
+    MetricsRegistry,
+    log_boundaries,
+    prometheus_text,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession
+from repro.runtime.program import load_program
+from repro.servers import simple
+from repro.servers.common import ClientLatencyLog, ClientPerceived
+from repro.workloads.ab import ApacheBench
+
+
+def _booted_simple(kernel):
+    simple.setup_world(kernel)
+    program = simple.make_program(1)
+    session = MCRSession(kernel, program, BuildConfig.full())
+    load_program(kernel, program, build=BuildConfig.full(), session=session)
+    kernel.run(until=lambda: session.startup_complete, max_steps=100_000)
+    return program, session
+
+
+# -- Histogram ----------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_observe_and_summary(self):
+        h = Histogram("lat", boundaries=[10, 100, 1000])
+        for value in (5, 50, 500, 5000):
+            h.observe(value)
+        assert h.count == 4
+        assert h.sum == 5555
+        assert h.min == 5 and h.max == 5000
+        assert h.bucket_counts == [1, 1, 1, 1]
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["p50"] == 100  # rank 2 -> bucket (10, 100]
+
+    def test_percentile_clamps_to_max(self):
+        h = Histogram("lat", boundaries=[1000, 2000])
+        h.observe(150)
+        # Nearest-rank p99 is the only sample; the bucket bound (1000)
+        # must clamp to the observed max.
+        assert h.percentile(99) == 150
+
+    def test_percentile_overflow_bucket(self):
+        h = Histogram("lat", boundaries=[10])
+        h.observe(99)
+        assert h.percentile(50) == 99
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.percentile(99) == 0
+        assert h.summary()["max"] == 0
+
+    def test_percentile_range_validation(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", boundaries=[])
+        with pytest.raises(ValueError):
+            Histogram("bad", boundaries=[10, 10])
+        with pytest.raises(ValueError):
+            log_boundaries(0, 100)
+        with pytest.raises(ValueError):
+            log_boundaries(1, 100, factor=1.0)
+
+    def test_log_buckets_cover_range(self):
+        h = Histogram.log_buckets("lat", 1_000, 1_000_000)
+        assert h.boundaries[0] == 1_000
+        assert h.boundaries[-1] >= 1_000_000
+
+    def test_merge(self):
+        a = Histogram.from_values("a", [1, 10, 100])
+        b = Histogram.from_values("b", [5, 50_000_000])
+        a.merge(b)
+        assert a.count == 5
+        assert a.sum == 50_000_116
+        assert a.min == 1 and a.max == 50_000_000
+
+    def test_merge_rejects_mismatched_boundaries(self):
+        a = Histogram("a", boundaries=[1, 2])
+        b = Histogram("b", boundaries=[1, 3])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_summary_ms_requires_ns_unit(self):
+        h = Histogram("ops", boundaries=[1, 2], unit="ops")
+        with pytest.raises(ValueError):
+            h.summary_ms()
+
+    def test_summary_ms_conversion(self):
+        h = Histogram.from_values("lat", [2_000_000])
+        summary = h.summary_ms()
+        assert summary["max_ms"] == pytest.approx(2.0)
+        assert summary["p50_ms"] == pytest.approx(2.0)
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=10**12), min_size=1, max_size=200),
+        q=st.sampled_from([1, 25, 50, 75, 90, 95, 99, 100]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_percentile_within_one_bucket_of_exact(self, values, q):
+        """Bucket-resolved percentile lands in the exact value's bucket.
+
+        The returned value is the bucket upper bound clamped to max, so it
+        is >= the exact nearest-rank percentile and ``bisect_left`` over
+        the boundaries maps both to the same bucket index.
+        """
+        h = Histogram.from_values("lat", values)
+        exact = sorted(values)[max(1, math.ceil(q / 100.0 * len(values))) - 1]
+        resolved = h.percentile(q)
+        assert resolved >= exact
+        bounds = h.boundaries
+        assert bisect_left(bounds, resolved) == bisect_left(bounds, exact)
+
+    @given(
+        a=st.lists(st.integers(min_value=0, max_value=10**9), max_size=50),
+        b=st.lists(st.integers(min_value=0, max_value=10**9), max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_combined(self, a, b):
+        merged = Histogram.from_values("a", a)
+        merged.merge(Histogram.from_values("b", b))
+        combined = Histogram.from_values("c", a + b)
+        assert merged.bucket_counts == combined.bucket_counts
+        assert merged.count == combined.count
+        assert merged.sum == combined.sum
+
+
+class TestMetricsRegistry:
+    def test_observe_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.observe("client.latency_ns", 5_000)
+        registry.observe("client.latency_ns", 9_000)
+        assert registry.get("client.latency_ns").count == 2
+        assert "client.latency_ns" in registry
+        assert len(registry) == 1
+
+    def test_names_sorted_and_snapshot(self):
+        registry = MetricsRegistry()
+        registry.observe("zeta", 1)
+        registry.observe("alpha", 2)
+        assert registry.names() == ["alpha", "zeta"]
+        snap = registry.snapshot()
+        assert list(snap) == ["alpha", "zeta"]
+        assert snap["alpha"]["count"] == 1
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("shared", 1)
+        b.observe("shared", 2)
+        b.observe("only_b", 3)
+        a.merge(b)
+        assert a.get("shared").count == 2
+        assert a.get("only_b").count == 1
+
+
+class TestCounterMerge:
+    def test_merge_sums_and_sorts(self):
+        a, b = CounterSet(), CounterSet()
+        a.incr("x", 2)
+        a.incr("z", 1)
+        b.incr("x", 3)
+        b.incr("a", 7)
+        merged = a.merge(b)
+        assert merged.snapshot() == {"a": 7, "x": 5, "z": 1}
+        # Sources are untouched.
+        assert a.get("x") == 2 and b.get("x") == 3
+
+    def test_with_prefix_sorted(self):
+        c = CounterSet()
+        c.incr("sys.write", 1)
+        c.incr("sys.read", 2)
+        c.incr("alloc.bytes", 3)
+        assert list(c.with_prefix("sys.")) == ["sys.read", "sys.write"]
+
+
+class TestPrometheusText:
+    def test_counters_and_histograms(self):
+        counters = CounterSet()
+        counters.incr("sys.read", 4)
+        registry = MetricsRegistry()
+        registry.observe("client.latency_ns", 1_500, boundaries=[1_000, 2_000])
+        registry.observe("client.latency_ns", 500, boundaries=[1_000, 2_000])
+        text = prometheus_text(counters=counters, metrics=registry)
+        assert "# TYPE repro_sys_read gauge\nrepro_sys_read 4" in text
+        assert "# TYPE repro_client_latency_ns histogram" in text
+        assert 'repro_client_latency_ns_bucket{le="1000"} 1' in text
+        assert 'repro_client_latency_ns_bucket{le="2000"} 2' in text
+        assert 'repro_client_latency_ns_bucket{le="+Inf"} 2' in text
+        assert "repro_client_latency_ns_sum 2000" in text
+        assert "repro_client_latency_ns_count 2" in text
+        assert text.endswith("\n")
+
+    def test_deterministic(self):
+        registry = MetricsRegistry()
+        registry.observe("b.metric", 10)
+        registry.observe("a.metric", 20)
+        assert prometheus_text(metrics=registry) == prometheus_text(metrics=registry)
+
+
+# -- FlightRecorder ------------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_budget_validation(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            FlightRecorder(clock, max_entries=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(clock, max_bytes=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(clock, sample_interval_steps=0)
+
+    def test_entry_budget_evicts_oldest(self):
+        clock = VirtualClock()
+        recorder = FlightRecorder(clock, max_entries=3)
+        for index in range(5):
+            recorder.record("event", f"e{index}", {})
+        names = [entry.name for entry in recorder.entries()]
+        assert names == ["e2", "e3", "e4"]
+        assert recorder.dropped == 2
+        assert recorder.recorded == 5
+
+    def test_oversized_entry_dropped_outright(self):
+        clock = VirtualClock()
+        recorder = FlightRecorder(clock, max_bytes=64)
+        recorder.record("event", "ok", {})
+        recorder.record("event", "huge", {"blob": "x" * 1000})
+        assert [entry.name for entry in recorder.entries()] == ["ok"]
+        assert recorder.dropped == 1
+
+    @given(
+        payload_sizes=st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=300),
+        max_entries=st.integers(min_value=1, max_value=64),
+        max_bytes=st.integers(min_value=32, max_value=4_096),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_budgets_never_exceeded_under_flood(
+        self, payload_sizes, max_entries, max_bytes
+    ):
+        clock = VirtualClock()
+        recorder = FlightRecorder(
+            clock, max_entries=max_entries, max_bytes=max_bytes
+        )
+        for size in payload_sizes:
+            recorder.record("event", "flood", {"data": "y" * size})
+            assert len(recorder) <= max_entries
+            assert recorder.bytes_used <= max_bytes
+        assert recorder.recorded + recorder.dropped >= len(payload_sizes)
+        assert recorder.bytes_used == sum(e.cost for e in recorder.entries())
+
+    def test_last_event_and_dump(self):
+        clock = VirtualClock()
+        recorder = FlightRecorder(clock)
+        recorder.record("event", "fault.injected", {"site": "transfer.memory"})
+        clock.advance(10)
+        recorder.record("sample", "gauges", {"runnable": 3})
+        clock.advance(10)
+        recorder.record("event", "fault.injected", {"site": "rollback"})
+        last = recorder.last_event("fault.injected")
+        assert last["payload"]["site"] == "rollback"
+        assert recorder.last_event("nope") is None
+        dump = recorder.dump(
+            "rolled_back", failure_site="rollback", open_spans=["update"]
+        )
+        assert dump["reason"] == "rolled_back"
+        assert dump["last_fault"]["payload"]["site"] == "rollback"
+        assert dump["open_spans"] == ["update"]
+        assert len(dump["entries"]) == 3
+        # The dump must round-trip through JSON (blackbox.json contract).
+        assert json.loads(json.dumps(dump)) == dump
+
+    def test_collector_wiring_mirrors_events(self):
+        clock = VirtualClock()
+        collector = obs.Collector(clock)
+        obs.install(collector)
+        try:
+            obs.emit("update.finished", committed=True)
+            obs.observe("client.latency_ns", 1_234)
+        finally:
+            obs.uninstall()
+        assert [e.name for e in collector.recorder.entries()] == ["update.finished"]
+        assert collector.metrics.get("client.latency_ns").count == 1
+
+    def test_kernel_tick_sampling(self):
+        kernel = Kernel()
+        _program, session = _booted_simple(kernel)
+        with obs.collecting(kernel.clock) as collector:
+            collector.recorder.sample_interval_steps = 64
+            ApacheBench(8080, requests=20, concurrency=2, path="sum").run(kernel)
+        samples = [e for e in collector.recorder.entries() if e.kind == "sample"]
+        assert collector.recorder.samples_taken > 0
+        assert samples, "scheduler tick hook never sampled"
+        payload = samples[-1].payload
+        for key in (
+            "runnable", "blocked", "processes", "fds",
+            "heap_live_bytes", "heap_live_chunks", "heap_free_bytes",
+            "dirty_faults",
+        ):
+            assert key in payload
+        assert payload["processes"] > 0
+
+
+# -- ClientLatencyLog / ClientPerceived ---------------------------------------
+
+
+class TestClientLatency:
+    def test_record_and_derivations(self):
+        log = ClientLatencyLog()
+        log.record(100, 250)
+        log.record(300, 350)
+        assert log.count == 2
+        assert log.latencies_ns() == [150, 50]
+        assert log.completions_ns() == [250, 350]
+        assert log.histogram().count == 2
+
+    def test_record_feeds_active_collector(self):
+        clock = VirtualClock()
+        with obs.collecting(clock) as collector:
+            log = ClientLatencyLog()
+            log.record(0, 42_000)
+        histogram = collector.metrics.get("client.latency_ns")
+        assert histogram.count == 1
+        assert histogram.max == 42_000
+
+    def test_blackout_longest_gap(self):
+        log = ClientLatencyLog()
+        for recv in (100, 200, 1_200, 1_300):
+            log.record(recv - 10, recv)
+        assert log.blackout_ns() == 1_000
+
+    def test_blackout_window_edges_count(self):
+        log = ClientLatencyLog()
+        log.record(90, 100)
+        # Nothing completes between 100 and the window end at 5_000.
+        assert log.blackout_ns(window=(0, 5_000)) == 4_900
+
+    def test_blackout_empty(self):
+        log = ClientLatencyLog()
+        assert log.blackout_ns() == 0
+        assert log.blackout_ns(window=(0, 777)) == 777
+
+    def test_perceived_verdict(self):
+        log = ClientLatencyLog()
+        for recv in (1_000, 2_000, 50_000_000):
+            log.record(recv - 100, recv)
+        perceived = ClientPerceived.measure(log, budget_ns=10_000_000)
+        assert not perceived.slo_ok  # ~50 ms gap > 10 ms budget
+        assert perceived.blackout_ns == 49_998_000
+        ok = ClientPerceived.measure(log, budget_ns=100_000_000)
+        assert ok.slo_ok
+        payload = ok.to_dict()
+        assert payload["requests"] == 3
+        assert payload["slo_ok"] is True
+        assert payload["blackout_ms"] == pytest.approx(ns_to_ms(49_998_000))
+
+    def test_latency_summary_ms_helper(self):
+        row = latency_summary_ms([1_000_000, 2_000_000, 3_000_000])
+        assert row["client_requests"] == 3
+        assert row["client_max_ms"] == pytest.approx(3.0)
+        assert set(row) == {
+            "client_requests", "client_p50_ms", "client_p95_ms",
+            "client_p99_ms", "client_max_ms",
+        }
+
+
+# -- controller black box ------------------------------------------------------
+
+
+class TestBlackbox:
+    def _fail_update(self, tmp_path=None):
+        kernel = Kernel()
+        _program, session = _booted_simple(kernel)
+        path = str(tmp_path / "blackbox.json") if tmp_path is not None else None
+        config = MCRConfig(
+            faults=FaultPlan().at("transfer.memory"), blackbox_path=path
+        )
+        ctl = McrCtl(kernel, session)
+        result = ctl.live_update(simple.make_program(2), config=config)
+        return ctl, result
+
+    def test_rollback_dumps_blackbox_without_collector(self):
+        assert obs.ACTIVE is None
+        _ctl, result = self._fail_update()
+        assert result.rolled_back
+        assert obs.ACTIVE is None  # private collector restored
+        blackbox = result.blackbox
+        assert blackbox is not None
+        assert blackbox["reason"] == "rolled_back"
+        assert blackbox["failure_site"] == "transfer.memory"
+        assert blackbox["last_fault"]["payload"]["site"] == "transfer.memory"
+        assert blackbox["open_spans"] == ["update", "rollback"]
+        assert blackbox["fingerprint"]["processes"]
+        assert result.blackbox_path is None
+
+    def test_rollback_writes_blackbox_file(self, tmp_path):
+        ctl, result = self._fail_update(tmp_path)
+        assert result.blackbox_path == str(tmp_path / "blackbox.json")
+        with open(result.blackbox_path, encoding="utf-8") as handle:
+            on_disk = json.load(handle)
+        assert on_disk["failure_site"] == "transfer.memory"
+        assert on_disk["last_fault"]["payload"]["site"] == "transfer.memory"
+        assert any(
+            entry["name"] == "fault.injected" for entry in on_disk["entries"]
+        )
+        status = ctl.status()
+        assert status["last_update"] == "rolled_back"
+        assert status["last_update_blackbox"] == result.blackbox_path
+
+    def test_committed_update_has_no_blackbox(self):
+        kernel = Kernel()
+        _program, session = _booted_simple(kernel)
+        ctl = McrCtl(kernel, session)
+        result = ctl.live_update(simple.make_program(2))
+        assert result.committed
+        assert result.blackbox is None
+
+    def test_caller_collector_not_displaced(self):
+        kernel = Kernel()
+        _program, session = _booted_simple(kernel)
+        config = MCRConfig(faults=FaultPlan().at("transfer.memory"))
+        ctl = McrCtl(kernel, session)
+        with obs.collecting(kernel.clock) as collector:
+            result = ctl.live_update(simple.make_program(2), config=config)
+            assert obs.ACTIVE is collector
+        assert result.blackbox is not None
+        # The caller's collector did the recording.
+        assert collector.recorder.last_event("fault.injected") is not None
+
+
+# -- measurement harness / CLI -------------------------------------------------
+
+
+class TestClientPerceivedMeasurement:
+    def test_measure_client_perceived_httpd(self):
+        row = measure_client_perceived("httpd")
+        assert row["client_requests"] > 0
+        assert row["workload_errors"] == 0
+        assert row["blackout_ms"] > 0
+        assert row["slo_ok"] is True
+        assert row["client_p99_ms"] >= row["client_p50_ms"]
+        # The update stall dominates the blackout, so p-max sees it too.
+        assert row["client_max_ms"] >= row["blackout_ms"] * 0.5
+
+    def test_mcr_ctl_stat_surfaces_client(self):
+        kernel = Kernel()
+        _program, session = _booted_simple(kernel)
+        ctl = McrCtl(kernel, session)
+        workload = ApacheBench(8080, requests=24, concurrency=2, path="sum")
+        clients = workload(kernel)
+        kernel.run(until=lambda: workload.latency.count >= 6, max_steps=2_000_000)
+        result = ctl.live_update(simple.make_program(2))
+        kernel.run(
+            until=lambda: all(c.exited for c in clients), max_steps=5_000_000
+        )
+        assert result.committed
+        result.client = ClientPerceived.measure(
+            workload.latency, budget_ns=session.config.downtime_budget_ns
+        )
+        status = ctl.status()
+        assert status["last_update_slo_ok"] is True
+        assert status["last_update_blackout_ms"] > 0
+        stat = ctl.stat()
+        assert len(stat["updates"]) == 1
+        assert stat["updates"][0]["client"]["requests"] == workload.latency.count
+
+    def test_metrics_cli_json(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["metrics", "simple", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO met" in out
+        assert "repro_client_latency_ns_bucket" in out
+        with open(tmp_path / "METRICS_simple.json", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["committed"] is True
+        assert payload["slo_verdict"] == "met"
+        assert payload["client"]["requests"] > 0
+        assert payload["client"]["slo_ok"] is True
+        assert "client.latency_ns" in payload["metrics"]
+
+
+# -- exports -------------------------------------------------------------------
+
+
+class TestMetricsExport:
+    def _collector_with_traffic(self):
+        clock = VirtualClock()
+        collector = obs.Collector(clock)
+        collector.metrics.observe("client.latency_ns", 5_000)
+        collector.metrics.observe("client.latency_ns", 9_000)
+        collector.recorder.record("sample", "gauges", {"runnable": 2, "fds": 7})
+        clock.advance(100)
+        collector.recorder.record("event", "update.finished", {"committed": True})
+        return collector
+
+    def test_collector_to_dict_includes_metrics_and_flight(self):
+        payload = collector_to_dict(self._collector_with_traffic())
+        assert payload["metrics"]["client.latency_ns"]["count"] == 2
+        flight = payload["flight"]
+        assert flight["recorded"] == 2
+        assert flight["dropped"] == 0
+        assert flight["bytes_used"] > 0
+        assert [entry["name"] for entry in flight["entries"]] == [
+            "gauges", "update.finished",
+        ]
+
+    def test_chrome_trace_counter_events(self):
+        trace = chrome_trace(self._collector_with_traffic())
+        counter_events = [
+            e for e in trace["traceEvents"] if e.get("ph") == "C"
+        ]
+        flight = [e for e in counter_events if e["name"] == "flight.gauges"]
+        assert len(flight) == 1
+        assert flight[0]["args"] == {"fds": 7, "runnable": 2}
+        hist = [e for e in counter_events if e["name"] == "hist.client.latency_ns"]
+        assert len(hist) == 1
+        assert hist[0]["args"]["count"] == 2
+        assert hist[0]["args"]["p99"] == 9_000
