@@ -51,6 +51,10 @@ from repro.workloads.holders import ConnectionHolder
 
 FULL_SERVERS = ("simple", "httpd", "nginx", "vsftpd", "memcache")
 SMOKE_SERVERS = ("simple", "vsftpd")
+# Servers re-run through the whole site grid in rolling update mode (the
+# multi-worker pools where per-batch hand-off is meaningful).
+ROLLING_FULL_SERVERS = ("httpd", "nginx")
+ROLLING_SMOKE_SERVERS = ("httpd",)
 
 # Held connections for servers whose protocol the holder speaks: they
 # give the restore-phase sites (restore.fds, restore.handlers) real work.
@@ -182,7 +186,10 @@ def _arm(site: str) -> FaultPlan:
 
 
 def run_cell(
-    server: str, site: str, blackbox_path: Optional[str] = None
+    server: str,
+    site: str,
+    blackbox_path: Optional[str] = None,
+    mode: str = "whole-tree",
 ) -> Dict[str, object]:
     spec = _MATRIX[server]
     world = _boot(server)
@@ -192,7 +199,7 @@ def run_cell(
         holder = ConnectionHolder(world.port, _HELD_CONNECTIONS, spec["holder_kind"])
         holder.establish(world.kernel)
     plan = _arm(site)
-    config = MCRConfig(faults=plan, blackbox_path=blackbox_path)
+    config = MCRConfig(faults=plan, blackbox_path=blackbox_path, update_mode=mode)
     ctl = McrCtl(world.kernel, world.session)
     raised: Optional[str] = None
     result = None
@@ -205,6 +212,7 @@ def run_cell(
     cell: Dict[str, object] = {
         "server": server,
         "site": site,
+        "mode": mode,
         "armed": plan.armed_sites(),
         "fired": bool(fired),
         "fired_sites": fired,
@@ -279,16 +287,30 @@ def run_faultmatrix(
     for server in names:
         for site in SITES:
             cells.append(run_cell(server, site, blackbox_path=blackbox_path))
+    # The rolling rows: the same safety property must hold when the update
+    # hands workers off one batch at a time — each fault still ends in
+    # exactly one of {committed, rolled back}, with the rollback verified
+    # batch-by-batch against the scoped fingerprints.
+    rolling_names = ROLLING_SMOKE_SERVERS if smoke else ROLLING_FULL_SERVERS
+    for server in rolling_names:
+        for site in SITES:
+            cells.append(
+                run_cell(server, site, blackbox_path=blackbox_path, mode="rolling")
+            )
     # Every rolled-back cell must have produced a black box whose last
     # injected fault matches the site the cell armed and fired.
     rolled_back = [c for c in cells if c["rolled_back"]]
+    rolling_cells = [c for c in cells if c["mode"] == "rolling"]
     return {
         "servers": list(names),
+        "rolling_servers": list(rolling_names),
         "sites": list(SITES),
         "smoke": smoke,
         "cells": cells,
         "cells_total": len(cells),
         "cells_fired": sum(1 for c in cells if c["fired"]),
+        "rolling_cells": len(rolling_cells),
+        "rolling_all_survived": all(c["survived"] for c in rolling_cells),
         "all_survived": all(c["survived"] for c in cells),
         "all_old_version_intact": all(c["old_version_intact"] for c in cells),
         "any_raised": any(c["raised"] for c in cells),
@@ -310,6 +332,7 @@ def render(results: Dict[str, object]) -> str:
         rows.append(
             [
                 cell["server"],
+                cell.get("mode", "whole-tree"),
                 cell["site"],
                 "yes" if cell["fired"] else "-",
                 outcome,
@@ -320,9 +343,11 @@ def render(results: Dict[str, object]) -> str:
         )
     summary = (
         f"{results['cells_total']} cells "
-        f"({len(results['servers'])} servers x {len(results['sites'])} sites), "
+        f"({len(results['servers'])} servers x {len(results['sites'])} sites, "
+        f"+{results.get('rolling_cells', 0)} rolling), "
         f"{results['cells_fired']} faults fired, "
         f"all_survived={results['all_survived']}, "
+        f"rolling_all_survived={results.get('rolling_all_survived')}, "
         f"all_old_version_intact={results['all_old_version_intact']}, "
         f"any_raised={results['any_raised']}, "
         f"all_blackbox_match={results.get('all_blackbox_match')}"
@@ -331,7 +356,7 @@ def render(results: Dict[str, object]) -> str:
         [
             render_table(
                 "Fault matrix: injected failure sites x servers",
-                ["server", "site", "fired", "outcome", "verified", "survived", "intact"],
+                ["server", "mode", "site", "fired", "outcome", "verified", "survived", "intact"],
                 rows,
                 note=(
                     "outcome commit! = fault fired past the point of no return and "

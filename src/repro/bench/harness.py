@@ -56,12 +56,18 @@ def boot_server(
     version: int = 1,
     build: Optional[BuildConfig] = None,
     kernel: Optional[Kernel] = None,
+    make_program: Optional[Callable[[int], Program]] = None,
 ) -> BenchWorld:
-    """Create a world running one server under the given build config."""
+    """Create a world running one server under the given build config.
+
+    ``make_program`` overrides the spec's factory — the rolling-update
+    comparison boots nginx with a multi-worker pool this way while the
+    registered default stays single-worker.
+    """
     spec = SERVER_BENCHES[name]
     kernel = kernel or Kernel()
     spec["setup_world"](kernel)
-    program = spec["make_program"](version)
+    program = (make_program or spec["make_program"])(version)
     if build is None:
         build = BuildConfig.qdet(instrument_regions=spec["instrument_regions"])
     if build.mcr_enabled:

@@ -47,7 +47,7 @@ def latency_summary_ms(
     """Histogram-backed ms summary of a latency sample, keys prefixed.
 
     Returns ``{"<prefix>_requests", "<prefix>_p50_ms", "<prefix>_p95_ms",
-    "<prefix>_p99_ms", "<prefix>_max_ms"}``.
+    "<prefix>_p99_ms", "<prefix>_max_ms", "<prefix>_sum_ms"}``.
     """
     summary = Histogram.from_values(f"{prefix}.latency_ns", latencies_ns).summary_ms()
     return {
@@ -56,4 +56,5 @@ def latency_summary_ms(
         f"{prefix}_p95_ms": summary["p95_ms"],
         f"{prefix}_p99_ms": summary["p99_ms"],
         f"{prefix}_max_ms": summary["max_ms"],
+        f"{prefix}_sum_ms": summary["sum_ms"],
     }

@@ -26,8 +26,16 @@ from typing import Dict, Optional, Sequence
 from repro.bench.harness import SERVER_BENCHES, boot_server
 from repro.bench.reporting import latency_summary_ms, render_table
 from repro.clock import ns_to_ms
+from repro.mcr.config import MCRConfig
 from repro.mcr.ctl import McrCtl
+from repro.servers import nginx
 from repro.servers.common import ClientPerceived
+from repro.workloads.ab import ApacheBench
+
+# Servers with a stable worker pool, where per-worker rolling update is
+# meaningful.  nginx is booted with a real multi-worker pool for the
+# comparison (the registered default stays single-worker).
+ROLLING_SERVERS = ("httpd", "nginx")
 
 
 def measure_quiescence_under_load(name: str) -> Dict[str, float]:
@@ -114,6 +122,73 @@ def measure_client_perceived(
     return row
 
 
+def _rolling_factory(name: str):
+    """Program factory used for the rolling-vs-whole-tree comparison.
+
+    Both the booted v1 world and the v2 update target must come from the
+    *same* factory (replay fork counts must match), so nginx gets its
+    multi-worker pool here for both modes.
+    """
+    if name == "nginx":
+        return lambda version: nginx.make_program(version, worker_processes=2)
+    return SERVER_BENCHES[name]["make_program"]
+
+
+def measure_rolling_comparison(
+    name: str,
+    to_version: int = 2,
+    warm_requests: int = 8,
+) -> Dict[str, object]:
+    """Whole-tree vs rolling blackout at equal workload.
+
+    Boots two identical fresh worlds from the same program factory, runs
+    the same mid-flight workload in each, and updates one whole-tree and
+    one rolling.  Reports both blackouts plus the rolling SLO verdict, so
+    the comparison isolates the update mode — same program, same worker
+    pool, same request stream.
+    """
+    factory = _rolling_factory(name)
+    spec = SERVER_BENCHES[name]
+    row: Dict[str, object] = {}
+    for mode, prefix in (("whole-tree", "wt"), ("rolling", "rolling")):
+        world = boot_server(name, make_program=factory)
+        kernel = world.kernel
+        # Same workload in both modes, with the timeout/retry posture of
+        # real AB: a stalled keep-alive connection is abandoned and the
+        # request retried over a fresh connect, which a live worker
+        # accepts.  Without it every client pinned to the first quiesced
+        # worker blocks for the whole update in *both* modes and the
+        # comparison measures nothing.
+        workload = ApacheBench(
+            spec["port"],
+            requests=120,
+            concurrency=4,
+            reconnect_stall_ns=5_000_000,
+        )
+        clients = workload(kernel)
+        kernel.run(
+            until=lambda: workload.latency.count >= warm_requests,
+            max_steps=2_000_000,
+        )
+        ctl = McrCtl(kernel, world.session)
+        result = ctl.live_update(
+            factory(to_version), config=MCRConfig(update_mode=mode)
+        )
+        if not result.committed:
+            raise RuntimeError(
+                f"{name}: {mode} comparison update failed: {result.error}"
+            )
+        kernel.run(until=lambda: all(c.exited for c in clients), max_steps=5_000_000)
+        budget_ns = world.session.config.downtime_budget_ns
+        perceived = ClientPerceived.measure(workload.latency, budget_ns=budget_ns)
+        row[f"{prefix}_blackout_ms"] = ns_to_ms(perceived.blackout_ns)
+        row[f"{prefix}_total_ms"] = result.total_ms()
+        if mode == "rolling":
+            row["rolling_batches"] = result.rolling_batches
+            row["rolling_slo_ok"] = perceived.slo_ok
+    return row
+
+
 def run_updatetime(
     servers: Sequence[str] = ("httpd", "nginx", "vsftpd", "opensshd"),
 ) -> Dict[str, Dict[str, float]]:
@@ -122,6 +197,8 @@ def run_updatetime(
         row = measure_quiescence_under_load(name)
         row.update(measure_update_components(name))
         row.update(measure_client_perceived(name))
+        if name in ROLLING_SERVERS:
+            row.update(measure_rolling_comparison(name))
         results[name] = row
     return results
 
@@ -141,7 +218,7 @@ def render(results: Dict[str, Dict[str, float]]) -> str:
         return str(value)
 
     rows = [[name] + [fmt(row[k]) for k in keys] for name, row in results.items()]
-    return render_table(
+    table = render_table(
         "Update time components",
         ["server"] + keys,
         rows,
@@ -152,3 +229,24 @@ def render(results: Dict[str, Dict[str, float]]) -> str:
             "MCRConfig.downtime_budget_ns"
         ),
     )
+    rolling_keys = [
+        "wt_blackout_ms", "rolling_blackout_ms", "rolling_batches",
+        "rolling_slo_ok", "wt_total_ms", "rolling_total_ms",
+    ]
+    rolling_rows = [
+        [name] + [fmt(row[k]) for k in rolling_keys]
+        for name, row in results.items()
+        if "rolling_blackout_ms" in row
+    ]
+    if rolling_rows:
+        table += "\n\n" + render_table(
+            "Rolling vs whole-tree blackout (equal workload)",
+            ["server"] + rolling_keys,
+            rolling_rows,
+            note=(
+                "rolling: per-worker-batch quiesce/trace/transfer while the "
+                "rest of the pool keeps serving; total update time may grow "
+                "while client-perceived blackout shrinks"
+            ),
+        )
+    return table

@@ -161,7 +161,9 @@ def _bench_memusage():
 def _bench_updatetime(smoke: bool = False):
     from repro.bench.updatetime import render, run_updatetime
 
-    results = run_updatetime(servers=("httpd", "vsftpd") if smoke else
+    # The smoke subset must include nginx: CI asserts the rolling-vs-
+    # whole-tree blackout comparison for both httpd and nginx.
+    results = run_updatetime(servers=("httpd", "nginx") if smoke else
                              ("httpd", "nginx", "vsftpd", "opensshd"))
     return results, render(results)
 

@@ -317,6 +317,24 @@ class Kernel:
                 if not jumped:
                     return "idle"
 
+    def run_for(self, duration_ns: int, max_steps: Optional[int] = None) -> str:
+        """Run the world for exactly ``duration_ns`` of virtual time.
+
+        Unlike a bare ``clock.advance``, any runnable thread gets to
+        execute while the interval elapses — this is what lets a rolling
+        live update charge one worker batch's transfer time while the
+        not-yet-quiesced workers keep serving clients.  If the world goes
+        idle (or parks at barriers) before the deadline, the clock is
+        topped up so the caller's interval is always fully charged.
+        """
+        if duration_ns <= 0:
+            return "until"
+        deadline_ns = self.clock.now_ns + duration_ns
+        reason = self.run(max_steps=max_steps, max_ns=duration_ns)
+        if self.clock.now_ns < deadline_ns:
+            self.clock.advance(deadline_ns - self.clock.now_ns)
+        return reason
+
     def _step(self, thread: Thread) -> None:
         self.steps_executed += 1
         self.clock.advance(self.config.step_cost_ns)

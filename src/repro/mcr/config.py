@@ -33,6 +33,8 @@ class MCRConfig:
         verify_rollback: bool = True,            # fingerprint-check rolled-back trees
         downtime_budget_ns: int = 1_000_000_000, # client-perceived SLO budget (1 s)
         blackbox_path=None,                      # where to dump blackbox.json
+        update_mode: str = "whole-tree",         # "whole-tree" | "rolling"
+        rolling_batch: int = 1,                  # workers quiesced/transferred per batch
     ) -> None:
         self.unblockify_slice_ns = unblockify_slice_ns
         self.unblockify_poll_cost_ns = unblockify_poll_cost_ns
@@ -81,6 +83,20 @@ class MCRConfig:
         # fingerprint) to this path as JSON; None keeps it in memory only
         # (``UpdateResult.blackbox``).
         self.blackbox_path = blackbox_path
+        # Update orchestration mode.  "whole-tree" (the default) quiesces
+        # the entire process tree and transfers it as one transaction —
+        # its virtual-time accounting is unchanged from earlier releases.
+        # "rolling" quiesces/traces/transfers one worker batch at a time
+        # (CRIU pre-dump style) while the remaining workers keep serving,
+        # master handed off last; the whole sequence still commits or
+        # rolls back atomically.  ``rolling_batch`` sets how many workers
+        # one batch holds.
+        if update_mode not in ("whole-tree", "rolling"):
+            raise ValueError(
+                f"update_mode must be 'whole-tree' or 'rolling', got {update_mode!r}"
+            )
+        self.update_mode = update_mode
+        self.rolling_batch = max(1, int(rolling_batch))
 
 
 class TransferCostModel:

@@ -48,6 +48,7 @@ from repro.mcr.tracing.invariants import (
     immutable_heap_spans,
     immutable_static_symbols,
 )
+from repro.mcr.tracing.incremental import SharedScanCache
 from repro.mcr.tracing.transfer import StateTransfer, TransferReport
 from repro.runtime.instrument import BuildConfig
 from repro.runtime.libmcr import MCRSession, PHASE_NORMAL
@@ -130,12 +131,19 @@ class UpdateResult:
         # barrier, so it covers both the restart and the migration span.
         "control_migration_ns": ("restart", "control-migration"),
         "restore_ns": ("restore",),
-        "transfer_ns": ("transfer",),
+        # Whole-tree updates record one "transfer" span; rolling updates
+        # record "rolling-transfer" (per-batch quiesce/restore/transfer
+        # live inside it).  Exactly one of the two exists per update.
+        "transfer_ns": ("transfer", "rolling-transfer"),
     }
 
     def __init__(self) -> None:
         self.committed = False
         self.rolled_back = False
+        # Orchestration mode of this attempt ("whole-tree" | "rolling")
+        # and, for rolling, how many hand-off batches ran.
+        self.mode = "whole-tree"
+        self.rolling_batches = 0
         self.error: Optional[BaseException] = None
         # Which pipeline site failed ("transfer.memory", "reinit.replay",
         # ...): the injected fault's site tag when one fired, otherwise
@@ -246,6 +254,11 @@ class LiveUpdateController:
     # -- public API -------------------------------------------------------------
 
     def run_update(self) -> UpdateResult:
+        if getattr(self.config, "update_mode", "whole-tree") == "rolling":
+            return self._run_update_rolling()
+        return self._run_update_whole_tree()
+
+    def _run_update_whole_tree(self) -> UpdateResult:
         result = UpdateResult()
         clock = self.kernel.clock
         # Black-box recording rides on the event log -> flight recorder
@@ -384,6 +397,311 @@ class LiveUpdateController:
         self._emit_finished(result)
         return result
 
+    def _run_update_rolling(self) -> UpdateResult:
+        """Rolling per-worker live update (CRIU pre-dump style).
+
+        The heavy global phases — offline analysis, restart, control
+        migration, volatile-state convergence — run while only the first
+        worker batch is quiesced: every other worker keeps serving.  The
+        hand-off loop then quiesces, fd-restores, traces and transfers
+        one batch at a time (master and stragglers in a final remainder
+        batch), pipelining the slow quiescence — the remainder's idle
+        threads, whose QP re-arm is bounded by a whole unblockify slice —
+        into the preceding batch's transfer window, while busy worker
+        batches (which converge within about one request) are scoped in
+        only at their own turn.  Transferred workers stay parked
+        until the global commit — resuming one would make its transferred
+        state stale — so the client-perceived blackout shrinks to roughly
+        the final batch plus commit, while the whole sequence still
+        commits or rolls back atomically under the same transaction
+        machinery (fault sites, black box, fingerprint verification).
+        """
+        result = UpdateResult()
+        result.mode = "rolling"
+        clock = self.kernel.clock
+        private_collector: Optional[obs.Collector] = None
+        displaced: Optional[obs.Collector] = None
+        if obs.ACTIVE is None or obs.ACTIVE.clock is not clock:
+            private_collector = obs.Collector(clock)
+            displaced = obs.install(private_collector)
+        recorder = obs.recorder_for(clock)
+        new_root: Optional[Process] = None
+        verify = bool(getattr(self.config, "verify_rollback", True))
+        entry_fp: Optional[TreeFingerprint] = None
+        entry_steps = self.kernel.steps_executed
+        if verify and getattr(self.config, "faults", None) is not None:
+            entry_fp = TreeFingerprint.capture(self.kernel, self.old_root)
+        worker_batches = self._worker_batches()
+        assigned = {p for batch in worker_batches for p in batch}
+        # One (batch, fingerprint, refcounts-included) entry per quiesced
+        # batch, in hand-off order; replayed by _verify_rollback_rolling.
+        # The first batch is captured before the restart exists, so its
+        # refcounts are clean; later batches are captured while the new
+        # tree holds inherited references (released again on rollback),
+        # so their refcount component is excluded.
+        batch_checkpoints: List[Tuple[List[Process], TreeFingerprint, bool]] = []
+        root = recorder.begin(
+            "update",
+            program=self.new_program.name,
+            to_version=self.new_program.version,
+            mode="rolling",
+        )
+        try:
+            # 1. Checkpoint the FIRST batch only; with no enumerable
+            # workers the whole tree is one degenerate batch.
+            first_batch = (
+                worker_batches[0] if worker_batches else list(self.old_root.tree())
+            )
+            with recorder.span("quiescence"):
+                self.old_session.quiescence.request(scope=first_batch)
+                self._quiesce_with_retry(result)
+            if verify:
+                batch_checkpoints.append(
+                    (
+                        list(first_batch),
+                        TreeFingerprint.capture(
+                            self.kernel,
+                            self.old_root,
+                            processes_subset=first_batch,
+                        ),
+                        True,
+                    )
+                )
+            # 2-4. Global phases, identical to the whole-tree pipeline
+            # (non-quiesced workers keep serving through all of them).
+            # Runtime descriptors are NOT restored here: each batch's
+            # live connections are installed at its own quiesce point.
+            with recorder.span("offline-analysis"):
+                fire(self.config, "offline.analysis")
+                plan = self._offline_analysis()
+            with recorder.span("restart"):
+                new_root = self._restart(plan)
+                result.new_root = new_root
+            with recorder.span("control-migration"):
+                fire(self.config, "control.migration")
+                self._run_control_migration(new_root)
+            with recorder.span("restore"):
+                self._run_post_startup_handlers(new_root)
+                self._converge_volatile(new_root)
+            # 5. The rolling hand-off loop.
+            with recorder.span("rolling-transfer") as rolling_span:
+                shared_cache = (
+                    SharedScanCache()
+                    if getattr(self.config, "incremental_scan", True)
+                    else None
+                )
+                merged = TransferReport()
+                pending = list(worker_batches[1:])
+                remainder_pending = bool(worker_batches)
+                batch = first_batch
+                index = 0
+                scoped_ahead = True  # first batch scoped by the request
+                while True:
+                    with recorder.span(
+                        f"worker-batch-{index}", processes=len(batch)
+                    ):
+                        if index > 0:
+                            # Worker batches are scoped in at their own
+                            # turn: they are busy serving, so they reach a
+                            # quiescent point within about one request and
+                            # this wait is near-instant.  The remainder
+                            # batch was scoped in a whole transfer window
+                            # ago (see below) and is already parked.
+                            if not scoped_ahead:
+                                self.old_session.quiescence.extend_scope(
+                                    batch
+                                )
+                            self._quiesce_with_retry(result)
+                            if verify:
+                                batch_checkpoints.append(
+                                    (
+                                        list(batch),
+                                        TreeFingerprint.capture(
+                                            self.kernel,
+                                            self.old_root,
+                                            processes_subset=batch,
+                                            include_refcounts=False,
+                                        ),
+                                        False,
+                                    )
+                                )
+                        # The next batch to hand off: the remainder (master
+                        # plus anything outside the worker list) is computed
+                        # at scheduling time so late-born processes are seen.
+                        next_batch: Optional[List[Process]] = None
+                        next_is_remainder = False
+                        if pending:
+                            next_batch = pending.pop(0)
+                        elif remainder_pending:
+                            remainder_pending = False
+                            next_is_remainder = True
+                            next_batch = [
+                                p
+                                for p in self.old_root.tree()
+                                if p not in assigned
+                            ]
+                            if not next_batch:
+                                next_batch = None
+                        # The pipeline overlap: the remainder batch (master,
+                        # janitors — processes that serve no clients) is
+                        # scoped in NOW, a full transfer window before its
+                        # turn.  Its threads idle in long unblockify slices,
+                        # so their worst-case QP re-arm latency elapses
+                        # while this batch's transfer time does, instead of
+                        # adding a dead wait at the end when no worker is
+                        # left serving.  Worker batches are NOT pre-scoped:
+                        # parking a serving worker early would grow the
+                        # client-perceived blackout for no convergence gain.
+                        scoped_ahead = False
+                        if next_batch is not None and next_is_remainder:
+                            self.old_session.quiescence.extend_scope(
+                                next_batch
+                            )
+                            scoped_ahead = True
+                        self._restore_runtime_fds(new_root, only=batch)
+                        transfer = StateTransfer(
+                            self.old_root,
+                            new_root,
+                            self.new_program,
+                            self.config,
+                            self.cost,
+                            use_dirty_filter=self.use_dirty_filter,
+                            only_processes=batch,
+                            shared_cache=shared_cache,
+                            include_base_cost=(index == 0),
+                        )
+                        report = transfer.run()
+                        merged.per_process.extend(report.per_process)
+                        merged.trace_results.update(report.trace_results)
+                        merged.conflicts.extend(report.conflicts)
+                        merged.total_ns += report.total_ns
+                        # The still-serving workers (and the clients they
+                        # serve) live through this batch's transfer time,
+                        # instead of the whole tree waiting it out.
+                        self.kernel.run_for(report.total_ns)
+                    index += 1
+                    if next_batch is None:
+                        break
+                    batch = next_batch
+                result.transfer_report = merged
+                result.rolling_batches = index
+                rolling_span.attrs["batches"] = index
+                rolling_span.attrs["objects_transferred"] = sum(
+                    s.objects_transferred for s in merged.per_process
+                )
+            # 6. Commit, same transaction boundary as whole-tree mode.
+            with recorder.span("commit"):
+                self._commit_prepare(new_root)
+                self._past_point_of_no_return = True
+                self._commit_critical(new_root)
+            result.committed = True
+            result.new_session = self.new_session
+            recorder.end(root, status=STATUS_OK)
+        except (MCRError, SimError) as error:
+            result.error = error
+            result.failure_site = (
+                getattr(error, "fault_site", None)
+                or self._derive_failure_site(root)
+            )
+            if self._past_point_of_no_return:
+                self._finish_commit()
+                result.committed = True
+                result.new_session = self.new_session
+                root.attrs["commit_fault"] = repr(error)
+                obs.emit(
+                    "update.commit_fault_contained",
+                    severity="error",
+                    site=result.failure_site,
+                    error=repr(error),
+                )
+                self._record_blackbox(result, recorder, "commit_fault_contained")
+                recorder.end(root, status=STATUS_OK)
+            else:
+                with recorder.span("rollback", reason=str(error)):
+                    self._rollback(new_root)
+                    self._record_blackbox(result, recorder, "rolled_back")
+                result.rolled_back = True
+                result.rollback_failed = bool(self._rollback_failures)
+                if verify:
+                    self._verify_rollback_rolling(
+                        result, batch_checkpoints, entry_fp, entry_steps
+                    )
+                recorder.end(root, status="rolled_back")
+        finally:
+            if not root.closed:
+                in_flight = result.error or _host_sys.exc_info()[1]
+                if in_flight is not None:
+                    root.attrs["error"] = repr(in_flight)
+                recorder.end(root, status=STATUS_ERROR)
+            if private_collector is not None:
+                if displaced is not None:
+                    obs.install(displaced)
+                else:
+                    obs.uninstall()
+        result.finalize_from_spans(root)
+        self._emit_finished(result)
+        return result
+
+    def _worker_batches(self) -> List[List[Process]]:
+        """Ordered worker batches for the rolling hand-off.
+
+        A server opts in by publishing ``metadata["enumerate_workers"]``
+        (a ``root -> ordered worker list`` callable) on its program; the
+        default takes every non-root process in tree order.  The master —
+        and any process outside the worker list — is never batched here:
+        it is handed off in the final remainder batch, which the rolling
+        loop computes at scheduling time.
+        """
+        program = getattr(self.old_session, "program", None)
+        enumerate_workers = None
+        if program is not None:
+            metadata = getattr(program, "metadata", None) or {}
+            enumerate_workers = metadata.get("enumerate_workers")
+        if enumerate_workers is not None:
+            workers = list(enumerate_workers(self.old_root))
+        else:
+            workers = list(self.old_root.tree()[1:])
+        size = max(1, int(getattr(self.config, "rolling_batch", 1)))
+        return [workers[i : i + size] for i in range(0, len(workers), size)]
+
+    def _verify_rollback_rolling(
+        self,
+        result: UpdateResult,
+        batch_checkpoints: List[Tuple[List[Process], TreeFingerprint, bool]],
+        entry_fp: Optional[TreeFingerprint],
+        entry_steps: int,
+    ) -> None:
+        """Fingerprint-verify a rolled-back rolling update.
+
+        Every batch that reached its quiesce point was captured there;
+        parked workers cannot run between capture and rollback, so each
+        capture is compared against a fresh scoped snapshot.  A failure
+        before the first batch quiesced falls back to the entry capture,
+        exactly like the whole-tree path.
+        """
+        if not batch_checkpoints:
+            self._verify_rollback(result, None, entry_fp, entry_steps)
+            return
+        problems: List[str] = []
+        try:
+            for batch, baseline, with_refcounts in batch_checkpoints:
+                after = TreeFingerprint.capture(
+                    self.kernel,
+                    self.old_root,
+                    processes_subset=batch,
+                    include_refcounts=with_refcounts,
+                )
+                problems.extend(baseline.diff(after))
+        except BaseException as error:  # verification must never throw
+            problems.append(f"fingerprint capture failed: {error!r}")
+        result.rollback_verified = not problems
+        if problems:
+            obs.emit(
+                "update.rollback_divergence",
+                severity="error",
+                problems="; ".join(problems[:8]),
+            )
+
     # -- transaction helpers ------------------------------------------------------
 
     def _quiesce_with_retry(self, result: UpdateResult) -> None:
@@ -498,6 +816,7 @@ class LiveUpdateController:
             "rolled_back": result.rolled_back,
             "total_ns": result.total_ns,
             "retries": result.retries,
+            "mode": result.mode,
         }
         if result.error is not None:
             fields["error"] = type(result.error).__name__
@@ -646,9 +965,18 @@ class LiveUpdateController:
         if not session.quiescence.is_quiescent(new_root):
             raise MCRError("volatile quiescent states did not converge")
 
-    def _restore_runtime_fds(self, new_root: Process) -> None:
-        """Install post-startup descriptors (open connections) in pairs."""
-        transfer = StateTransfer(self.old_root, new_root, self.new_program)
+    def _restore_runtime_fds(
+        self, new_root: Process, only: Optional[List[Process]] = None
+    ) -> None:
+        """Install post-startup descriptors (open connections) in pairs.
+
+        ``only`` restricts the restore to a subset of old processes: the
+        rolling loop restores each batch's descriptors at the batch's own
+        quiesce point, so still-changing connections are never copied.
+        """
+        transfer = StateTransfer(
+            self.old_root, new_root, self.new_program, only_processes=only
+        )
         restored = 0
         for old_proc, new_proc in transfer.pair_processes():
             for fd, obj in old_proc.fdtable.items():

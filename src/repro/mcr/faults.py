@@ -283,9 +283,27 @@ class TreeFingerprint:
         self.listeners = listeners
 
     @classmethod
-    def capture(cls, kernel: Any, root: Any) -> "TreeFingerprint":
+    def capture(
+        cls,
+        kernel: Any,
+        root: Any,
+        processes_subset: Optional[List[Any]] = None,
+        include_refcounts: bool = True,
+    ) -> "TreeFingerprint":
+        """Snapshot ``root``'s tree, or an explicit subset of processes.
+
+        ``processes_subset`` supports rolling updates, whose rollback
+        verifier checkpoints one quiesced worker batch at a time.
+        ``include_refcounts=False`` drops the per-fd refcount component:
+        batches captured mid-pipeline see shared kernel objects whose
+        refcounts are legitimately elevated by the live new tree's
+        inherited references (released again on rollback), so comparing
+        them would flag phantom divergence.  Memory CRCs, fd presence,
+        allocator and listener state are always compared.
+        """
         processes: Dict[Tuple[int, str], Tuple] = {}
-        for process in root.tree():
+        subset = processes_subset if processes_subset is not None else root.tree()
+        for process in subset:
             space = process.space
             mem = tuple(
                 (
@@ -300,7 +318,7 @@ class TreeFingerprint:
                 (
                     fd,
                     getattr(obj, "kind", "?"),
-                    getattr(obj, "refcount", None),
+                    getattr(obj, "refcount", None) if include_refcounts else None,
                     bool(getattr(obj, "closed", False)),
                 )
                 for fd, obj in process.fdtable.items()

@@ -15,7 +15,7 @@ workload-independent).
 
 from __future__ import annotations
 
-from typing import List, Optional, TYPE_CHECKING
+from typing import Iterable, List, Optional, Set, TYPE_CHECKING
 
 from repro.errors import QuiescenceTimeout
 from repro.kernel.kernel import Barrier, Kernel
@@ -42,22 +42,49 @@ class QuiescenceProtocol:
         self.requested = False
         self.requested_at_ns = 0
         self.converged_at_ns: Optional[int] = None
+        # Rolling-update scoping: when set, only these processes divert to
+        # the barrier at their quiescent points — the rest of the tree
+        # keeps serving.  None (the default, and the whole-tree mode)
+        # scopes the protocol to every process.
+        self.scope: Optional[Set[Process]] = None
 
     # -- controller side ----------------------------------------------------------
 
-    def request(self) -> None:
-        """Start the protocol; threads divert to the barrier at their QPs."""
+    def request(self, scope: Optional[Iterable[Process]] = None) -> None:
+        """Start the protocol; threads divert to the barrier at their QPs.
+
+        ``scope`` restricts the protocol to a subset of processes (rolling
+        updates quiesce one worker batch at a time); None quiesces the
+        whole tree, exactly as before.
+        """
         self.barrier = Barrier()
         self.requested = True
         self.requested_at_ns = self.session.kernel.clock.now_ns
         self.converged_at_ns = None
+        self.scope = set(scope) if scope is not None else None
+
+    def extend_scope(self, processes: Iterable[Process]) -> None:
+        """Widen an in-progress scoped protocol to more processes.
+
+        The rolling controller pre-requests batch N+1 here while batch N
+        is still in transfer (the pipeline overlap); with no scope set the
+        protocol already covers everything and this is a no-op.
+        """
+        if self.scope is not None:
+            self.scope.update(processes)
+
+    def in_scope(self, process: Process) -> bool:
+        return self.scope is None or process in self.scope
 
     def is_quiescent(self, root: Process) -> bool:
         # Hot path: evaluated once per kernel step while an update drives
         # the world to the barrier.  Short-circuit on the first straggler
         # instead of materializing the whole tree's thread list.
         any_thread = False
+        scope = self.scope
         for process in root.tree():
+            if scope is not None and process not in scope:
+                continue
             for thread in process.live_threads():
                 any_thread = True
                 if not thread.at_barrier:
@@ -91,7 +118,7 @@ class QuiescenceProtocol:
             laggards = [
                 f"{t.process.name}:{t.name}@{t.top_function()}({t.blocked_on or t.state})"
                 for t in tree_live_threads(root)
-                if not t.at_barrier
+                if not t.at_barrier and self.in_scope(t.process)
             ]
             raise QuiescenceTimeout(
                 f"quiescence not reached within {deadline_ns} ns; "
@@ -103,11 +130,14 @@ class QuiescenceProtocol:
     def release(self) -> None:
         """End the protocol (rollback or update completion): resume all."""
         self.requested = False
+        self.scope = None
         if self.barrier is not None:
             self.barrier.release()
             self.barrier = None
 
     # -- program side (called from unblockified wrappers via libmcr) ---------------
 
-    def hook_should_block(self) -> bool:
-        return self.requested and self.barrier is not None
+    def hook_should_block(self, process: Optional[Process] = None) -> bool:
+        if not (self.requested and self.barrier is not None):
+            return False
+        return process is None or self.in_scope(process)

@@ -376,6 +376,7 @@ class GraphBuilder:
         process: Process,
         config: Optional[MCRConfig] = None,
         annotations=None,
+        shared_cache=None,
     ) -> None:
         self.process = process
         self.config = config or MCRConfig()
@@ -391,6 +392,9 @@ class GraphBuilder:
             if getattr(self.config, "incremental_scan", True)
             else None
         )
+        # Cross-worker memoization (rolling updates only): forked workers
+        # share startup-time pages, so identical ranges are scanned once.
+        self._shared_cache = shared_cache
 
     # -- public API ---------------------------------------------------------------
 
@@ -403,6 +407,8 @@ class GraphBuilder:
             self.resolver.build_index()
         if self._scan_cache is not None:
             self._scan_cache.begin_round()
+        if self._shared_cache is not None:
+            self._shared_cache.begin_process(self.process)
         try:
             self._add_static_roots()
             self._add_stack_roots()
@@ -425,6 +431,14 @@ class GraphBuilder:
             hit = cache.lookup(start, size)
             if hit is not None:
                 return hit
+        shared = self._shared_cache
+        if shared is not None:
+            hit = shared.lookup(self.process, start, size)
+            if hit is not None:
+                found, scanned = hit
+                if cache is not None:
+                    cache.store(start, size, found, scanned)
+                return hit
         if self._fast_scan:
             found, scanned = conservative.scan_range(
                 self.process.space,
@@ -439,6 +453,8 @@ class GraphBuilder:
             )
         if cache is not None:
             cache.store(start, size, found, scanned)
+        if shared is not None:
+            shared.store(self.process, start, size, found, scanned)
         return found, scanned
 
     def _scan_words(self, offsets, base: int):

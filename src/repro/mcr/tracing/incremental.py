@@ -139,6 +139,73 @@ class ScanCache:
         )
 
 
+class SharedScanCache:
+    """Cross-process memo of conservative ``scan_range`` results.
+
+    Rolling updates trace workers one batch at a time, but forked workers
+    share their startup-time layout: the same read-only pages, the same
+    allocator history up to the fork, the same tag registrations.  A scan
+    of such a range in worker N+1 is byte-for-byte the scan already done
+    in worker N, so the rolling controller threads one ``SharedScanCache``
+    through every per-worker ``GraphBuilder``.
+
+    Validity is self-evident from the key: ``(start, size, crc32 of the
+    bytes, resolution fingerprint)``.  Conservative scan output is a pure
+    function of the scanned bytes and the resolution state, so two
+    processes with equal keys get equal results.  A hit still reports the
+    cached ``words_scanned`` (identical virtual-time accounting); only
+    host wall time is saved.  Whole-tree updates never construct one, so
+    their counters stay byte-identical.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple, Tuple[List[LikelyPointer], int]] = {}
+        self._fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.hits = 0
+        self.misses = 0
+        self.words_skipped = 0
+
+    def begin_process(self, process) -> None:
+        """Cache the per-process fingerprint once per trace, not per range."""
+        self._fingerprints[process] = resolution_fingerprint(process)
+
+    def _key(self, process, start: int, size: int) -> Optional[Tuple]:
+        import zlib
+
+        try:
+            data = process.space.view(start, size)
+        except Exception:
+            return None
+        fingerprint = self._fingerprints.get(process)
+        if fingerprint is None:
+            fingerprint = resolution_fingerprint(process)
+            self._fingerprints[process] = fingerprint
+        return (start, size, zlib.crc32(bytes(data)), fingerprint)
+
+    def lookup(self, process, start: int, size: int) -> Optional[Tuple[List[LikelyPointer], int]]:
+        key = self._key(process, start, size)
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        found, words_scanned = entry
+        self.hits += 1
+        self.words_skipped += words_scanned
+        collector = obs.ACTIVE
+        if collector is not None:
+            collector.counters.incr("scan.shared_hits")
+            collector.counters.incr("scan.words_from_shared", words_scanned)
+        return found, words_scanned
+
+    def store(self, process, start: int, size: int, found: List[LikelyPointer], words_scanned: int) -> None:
+        key = self._key(process, start, size)
+        if key is None:
+            return
+        self._entries[key] = (found, words_scanned)
+
+
 # One cache per process, lifetime-tied to it (dies with the process).
 _CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 

@@ -189,6 +189,9 @@ class StateTransfer:
         config: Optional[MCRConfig] = None,
         cost: Optional[TransferCostModel] = None,
         use_dirty_filter: bool = True,
+        only_processes: Optional[List[Process]] = None,
+        shared_cache=None,
+        include_base_cost: bool = True,
     ) -> None:
         self.old_root = old_root
         self.new_root = new_root
@@ -198,6 +201,13 @@ class StateTransfer:
         # Ablation switch: with dirty filtering off, every paired mutable
         # object is transferred (what a non-incremental MCR would do).
         self.use_dirty_filter = use_dirty_filter
+        # Rolling updates transfer one worker batch at a time: restrict
+        # the pairing to this subset of old processes, share conservative
+        # scan results across the batches, and charge the coordinator
+        # bring-up only once (with the first batch).
+        self.only_processes = set(only_processes) if only_processes is not None else None
+        self.shared_cache = shared_cache
+        self.include_base_cost = include_base_cost
         self.report = TransferReport()
 
     # -- top level -----------------------------------------------------------------
@@ -209,7 +219,7 @@ class StateTransfer:
             stats = self._transfer_process(old_proc, new_proc)
             self.report.per_process.append(stats)
             process_work_ns.append(stats.work_ns(self.cost))
-        total = self.cost.base_coordination_ns
+        total = self.cost.base_coordination_ns if self.include_base_cost else 0
         total += len(pairs) * self.cost.process_channel_setup_ns
         total += max(process_work_ns) if process_work_ns else 0
         self.report.total_ns = total
@@ -226,7 +236,12 @@ class StateTransfer:
         for process in self.new_root.tree():
             new_by_stack.setdefault(process.creation_stack_id, []).append(process)
         pairs: List[Tuple[Process, Process]] = []
-        for old_proc in self.old_root.tree():
+        old_procs = [
+            p
+            for p in self.old_root.tree()
+            if self.only_processes is None or p in self.only_processes
+        ]
+        for old_proc in old_procs:
             candidates = new_by_stack.get(old_proc.creation_stack_id, [])
             match = None
             for candidate in candidates:
@@ -250,7 +265,12 @@ class StateTransfer:
         stats = ProcessTransferStats(old_proc.pid)
         annotations = getattr(self.new_program, "annotations", None)
         trace = apply_invariants(
-            GraphBuilder(old_proc, self.config, annotations=annotations).build()
+            GraphBuilder(
+                old_proc,
+                self.config,
+                annotations=annotations,
+                shared_cache=self.shared_cache,
+            ).build()
         )
         self.report.trace_results[old_proc.pid] = trace
         stats.objects_traced = len(trace.objects)

@@ -148,6 +148,10 @@ class PtMallocHeap:
         self._reserved: Dict[int, int] = {}  # superobject spans: base -> size
         self.startup_mode = True
         self._deferred_frees: List[int] = []
+        # Membership view of _deferred_frees: a deferred chunk is already
+        # logically dead, so a second free or a realloc of it is the same
+        # use-after-free it would be outside startup mode.
+        self._deferred: set = set()
         # Counters feeding the cost model and the memory-usage benchmark.
         self.malloc_count = 0
         self.free_count = 0
@@ -241,6 +245,11 @@ class PtMallocHeap:
         if self.startup_mode:
             # Global separability: no startup-time address reuse.  The
             # chunk stays resident until end_startup() releases it.
+            if user_address in self._deferred:
+                raise AllocatorError(
+                    f"double free of startup address 0x{user_address:x}"
+                )
+            self._deferred.add(user_address)
             self._deferred_frees.append(user_address)
             collector = obs.ACTIVE
             if collector is not None:
@@ -252,6 +261,13 @@ class PtMallocHeap:
         chunk = self._chunks.get(user_address)
         if chunk is None:
             raise AllocatorError(f"realloc of non-allocated address 0x{user_address:x}")
+        if self.startup_mode and user_address in self._deferred:
+            # The chunk is still resident (its free was deferred for
+            # separability) but logically dead: growing it would revive a
+            # freed object and corrupt the deferred-free accounting.
+            raise AllocatorError(
+                f"realloc of already-freed startup address 0x{user_address:x}"
+            )
         new_addr = self.malloc(new_size, site_id=site_id)
         keep = min(chunk.user_size, new_size)
         self._space.write_bytes(new_addr, self._space.read_bytes(user_address, keep))
@@ -264,6 +280,7 @@ class PtMallocHeap:
         """Leave startup mode: process deferred frees, stop flagging chunks."""
         self.startup_mode = False
         deferred, self._deferred_frees = self._deferred_frees, []
+        self._deferred = set()
         for user_address in deferred:
             chunk = self._chunks.get(user_address)
             if chunk is not None:
@@ -365,6 +382,7 @@ class PtMallocHeap:
         twin._reserved = dict(self._reserved)
         twin.startup_mode = self.startup_mode
         twin._deferred_frees = list(self._deferred_frees)
+        twin._deferred = set(self._deferred)
         twin.malloc_count = self.malloc_count
         twin.free_count = self.free_count
         twin.bytes_allocated = self.bytes_allocated

@@ -44,19 +44,26 @@ class CounterSet:
             if name.startswith(prefix)
         }
 
-    def merge(self, other: "CounterSet") -> "CounterSet":
-        """A new CounterSet with both value sets summed.
+    def merge(self, other: "CounterSet") -> None:
+        """Fold ``other``'s values into this set (sums matching names).
 
+        In-place, like ``Histogram.merge`` and ``MetricsRegistry.merge``
+        — the one merge contract across the observability spine.
         Cross-tree accounting (old-version collector + new-version
-        collector during an update) combines through this, so the result
+        collector during an update) combines through this, and the result
         never depends on either side's dict insertion order — ``snapshot``
         of the merge is name-sorted like any other.
         """
-        merged = CounterSet()
-        for source in (self, other):
-            for name, value in source._values.items():
-                merged.incr(name, value)
-        return merged
+        values = self._values
+        for name, value in other._values.items():
+            values[name] = values.get(name, 0) + value
+
+    def merged(self, other: "CounterSet") -> "CounterSet":
+        """A new CounterSet with both value sets summed (sources untouched)."""
+        out = CounterSet()
+        out.merge(self)
+        out.merge(other)
+        return out
 
     def clear(self) -> None:
         self._values.clear()

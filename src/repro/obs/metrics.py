@@ -122,6 +122,10 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if self.count == 0:
             return 0
+        if q == 0:
+            # The 0th percentile is the smallest observation; the bucket
+            # upper bound would overstate it by up to one bucket width.
+            return self.min
         rank = max(1, ceil(q / 100.0 * self.count))
         cumulative = 0
         for index, bucket_count in enumerate(self.bucket_counts):
@@ -150,7 +154,7 @@ class Histogram:
             raise ValueError(f"summary_ms needs an ns histogram, not {self.unit!r}")
         native = self.summary()
         out: Dict[str, float] = {"count": native["count"]}
-        for key in ("min", "max", "p50", "p95", "p99"):
+        for key in ("sum", "min", "max", "p50", "p95", "p99"):
             out[f"{key}_ms"] = ns_to_ms(native[key])
         return out
 
@@ -173,6 +177,13 @@ class Histogram:
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
+
+    def merged(self, other: "Histogram") -> "Histogram":
+        """A new histogram folding both in (sources untouched)."""
+        out = Histogram(self.name, boundaries=self.boundaries, unit=self.unit)
+        out.merge(self)
+        out.merge(other)
+        return out
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -232,6 +243,13 @@ class MetricsRegistry:
                 mine = Histogram(name, boundaries=theirs.boundaries, unit=theirs.unit)
                 self._histograms[name] = mine
             mine.merge(theirs)
+
+    def merged(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """A new registry folding both in (sources untouched)."""
+        out = MetricsRegistry()
+        out.merge(self)
+        out.merge(other)
+        return out
 
     def __len__(self) -> int:
         return len(self._histograms)

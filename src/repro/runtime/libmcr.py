@@ -245,7 +245,9 @@ class MCRRuntime:
         while True:
             # The quiescence hook: divert to the barrier before arming the
             # call again, so no new event is ever consumed mid-protocol.
-            if self.build.qdet and session.quiescence.hook_should_block():
+            if self.build.qdet and session.quiescence.hook_should_block(
+                thread.process
+            ):
                 yield SyscallRequest(
                     "barrier_wait", {"barrier": session.quiescence.barrier}
                 )

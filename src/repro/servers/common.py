@@ -119,7 +119,11 @@ class ClientLatencyLog:
         points = list(completions)
         if window is not None:
             lo, hi = window
-            points = [lo] + [c for c in points if lo <= c <= hi] + [hi]
+            # Clamp out-of-window completions onto the nearest edge
+            # instead of discarding them: a response that completed just
+            # outside the window still bounds the stall at that edge,
+            # whereas dropping it would inflate the measured blackout.
+            points = [lo] + sorted(min(max(c, lo), hi) for c in points) + [hi]
         if len(points) < 2:
             return 0
         return max(b - a for a, b in zip(points, points[1:]))

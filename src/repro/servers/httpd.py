@@ -338,7 +338,15 @@ def make_program(version: int = 1, mcr_prepared: bool = True) -> Program:
             ("httpd_worker_loop", "recvmsg"),
             ("httpd_janitor_loop", "nanosleep"),
         },
-        metadata={"port": PORT_HTTPD, "mcr_prepared": mcr_prepared},
+        metadata={
+            "port": PORT_HTTPD,
+            "mcr_prepared": mcr_prepared,
+            # Rolling-update hook: the prefork server pool, master excluded
+            # (the janitor and master ride in the final remainder batch).
+            "enumerate_workers": lambda root: [
+                p for p in root.tree() if p.name.startswith("httpd-server-")
+            ],
+        },
         functions=[
             "httpd_main", "httpd_master_loop", "httpd_server_process",
             "httpd_listener_loop", "httpd_worker_loop", "httpd_handle_request",

@@ -92,10 +92,11 @@ def make_globals(types: Dict[str, object]) -> list:
     ]
 
 
-def _make_main(version: int, types: Dict[str, object]):
+def _make_main(version: int, types: Dict[str, object], worker_processes: int = 1):
     ngx_cycle_t = types["ngx_cycle_t"]
     ngx_connection_t = types["ngx_connection_t"]
     ngx_stats_t = types["ngx_stats_t"]
+    multi_worker = worker_processes > 1
 
     @sim_function
     def ngx_serve_request(sys, conn_fd, conn_addr, region):
@@ -151,6 +152,12 @@ def _make_main(version: int, types: Dict[str, object]):
     @sim_function
     def ngx_worker_cycle(sys, listen_fd, epoll_fd):
         crt = sys.process.crt
+        if epoll_fd is None:
+            # Multi-worker mode: each worker owns a private epoll (the
+            # real nginx idiom), so sibling workers never share one
+            # readiness queue; the shared listener is registered in each.
+            epoll_fd = yield from sys.epoll_create()
+            yield from sys.epoll_ctl(epoll_fd, "add", listen_fd)
         region = crt.region_create()
         crt.gset("ngx_conn_pool", region.first_block_base)
         slab = crt.slab_create()
@@ -162,7 +169,17 @@ def _make_main(version: int, types: Dict[str, object]):
                 continue
             for fd in ready:
                 if fd == listen_fd:
-                    conn_fd = yield from sys.accept(listen_fd)
+                    if multi_worker:
+                        # Thundering herd: every worker's epoll reports the
+                        # shared listener; a bounded accept lets the losers
+                        # return to their event loop.
+                        conn_fd = yield from sys.accept(
+                            listen_fd, timeout_ns=100_000
+                        )
+                        if not isinstance(conn_fd, int):
+                            continue
+                    else:
+                        conn_fd = yield from sys.accept(listen_fd)
                     yield from sys.epoll_ctl(epoll_fd, "add", conn_fd)
                     conn = crt.region_alloc_typed(sys.thread, region, ngx_connection_t)
                     crt.set(conn, ngx_connection_t, "fd", conn_fd)
@@ -265,9 +282,18 @@ def _make_main(version: int, types: Dict[str, object]):
         def daemon_body(sys2):
             crt = sys2.process.crt
             listen_fd, epoll_fd, cycle = yield from ngx_init_cycle(sys2)
-            worker_pid = yield from sys2.fork(
-                ngx_worker_main, args=(listen_fd, epoll_fd), name="nginx-worker"
-            )
+            if multi_worker:
+                worker_pid = 0
+                for worker_index in range(worker_processes):
+                    worker_pid = yield from sys2.fork(
+                        ngx_worker_main,
+                        args=(listen_fd, None),
+                        name=f"nginx-worker-{worker_index}",
+                    )
+            else:
+                worker_pid = yield from sys2.fork(
+                    ngx_worker_main, args=(listen_fd, epoll_fd), name="nginx-worker"
+                )
             crt.set(cycle, ngx_cycle_t, "worker_pid", worker_pid)
             yield from ngx_master_cycle(sys2)
 
@@ -277,19 +303,33 @@ def _make_main(version: int, types: Dict[str, object]):
     return nginx_main
 
 
-def make_program(version: int = 1, instrument_regions: bool = False) -> Program:
+def _enumerate_workers(root) -> list:
+    """Rolling-update hook: worker processes in fork order, master excluded."""
+    return [p for p in root.tree() if p.name.startswith("nginx-worker")]
+
+
+def make_program(
+    version: int = 1,
+    instrument_regions: bool = False,
+    worker_processes: int = 1,
+) -> Program:
     types = make_types(version)
     program = Program(
         name="nginx",
         version=str(version),
         globals_=make_globals(types),
-        main=_make_main(version, types),
+        main=_make_main(version, types, worker_processes=worker_processes),
         types=types,
         quiescent_points={
             ("ngx_worker_cycle", "epoll_wait"),
             ("ngx_master_cycle", "wait_child"),
         },
-        metadata={"port": PORT_NGINX, "instrument_regions": instrument_regions},
+        metadata={
+            "port": PORT_NGINX,
+            "instrument_regions": instrument_regions,
+            "worker_processes": worker_processes,
+            "enumerate_workers": _enumerate_workers,
+        },
         functions=[
             "ngx_init_cycle", "ngx_master_cycle", "ngx_worker_cycle",
             "ngx_serve_request", "nginx_main",

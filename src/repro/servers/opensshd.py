@@ -265,7 +265,14 @@ def make_program(version: int = 1) -> Program:
             ("sshd_master_loop", "accept"),
             ("ssh_session_loop", "recv"),
         },
-        metadata={"port": PORT_SSHD},
+        metadata={
+            "port": PORT_SSHD,
+            # Rolling-update hook: per-connection session children (the
+            # transient exec children are excluded; they exit on their own).
+            "enumerate_workers": lambda root: [
+                p for p in root.tree() if p.name.startswith("sshd-session")
+            ],
+        },
     )
     program.metadata["session_restore"] = session_restore
     # Volatile-QP restore handler (paper: 49 LOC for OpenSSH).

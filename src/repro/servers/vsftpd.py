@@ -252,7 +252,15 @@ def make_program(version: int = 1) -> Program:
             ("vsf_master_loop", "accept"),
             ("vsf_session_loop", "recv"),
         },
-        metadata={"port": PORT_VSFTPD},
+        metadata={
+            "port": PORT_VSFTPD,
+            # Rolling-update hook: per-connection session children.  New
+            # sessions born mid-update land in the remainder batch; rolling
+            # suits stable worker pools better than fork-per-connection.
+            "enumerate_workers": lambda root: [
+                p for p in root.tree() if p.name.startswith("vsftpd-session")
+            ],
+        },
     )
     # Exported for the update machinery (the volatile-QP restore handler).
     program.metadata["session_restore"] = session_restore

@@ -26,11 +26,20 @@ class ApacheBench:
         requests: int = 200,
         concurrency: int = 4,
         path: str = "/file1k.bin",
+        reconnect_stall_ns: int = None,
     ) -> None:
         self.port = port
         self.requests = requests
         self.concurrency = concurrency
         self.path = path
+        # With ``reconnect_stall_ns`` set, a client whose response stalls
+        # longer than that abandons its keep-alive connection and retries
+        # the request over a fresh one — real AB's timeout/retry posture.
+        # A fresh connect lands on whichever worker is live, which is what
+        # lets clients ride out a rolling per-worker update.  None keeps
+        # the original block-forever behaviour.
+        self.reconnect_stall_ns = reconnect_stall_ns
+        self.reconnects = 0
         self.completed = 0
         self.errors = 0
         self.latency = ClientLatencyLog()
@@ -53,13 +62,33 @@ class ApacheBench:
                 return
             for _ in range(per_client):
                 start = clock.now_ns
-                yield from sys.send(fd, f"GET {bench.path}\n".encode())
-                reply = yield from sys.recv(fd)
-                if not reply:
-                    bench.errors += 1
-                    break
-                bench.completed += 1
-                bench.latency.record(start, clock.now_ns)
+                attempts = 0
+                while True:
+                    try:
+                        yield from sys.send(fd, f"GET {bench.path}\n".encode())
+                        reply = yield from sys.recv(
+                            fd, timeout_ns=bench.reconnect_stall_ns
+                        )
+                    except SimError:
+                        reply = None
+                    if isinstance(reply, (bytes, bytearray)) and reply:
+                        bench.completed += 1
+                        bench.latency.record(start, clock.now_ns)
+                        break
+                    if bench.reconnect_stall_ns is None or attempts >= 100:
+                        bench.errors += 1
+                        yield from sys.close(fd)
+                        return
+                    # Stalled (or dropped) mid-update: reconnect and retry
+                    # this request; a live worker picks up the new socket.
+                    attempts += 1
+                    bench.reconnects += 1
+                    yield from sys.close(fd)
+                    try:
+                        fd = yield from connect_with_retry(sys, bench.port)
+                    except SimError:
+                        bench.errors += 1
+                        return
             yield from sys.close(fd)
 
         return [

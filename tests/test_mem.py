@@ -414,3 +414,63 @@ class TestTagStore:
         twin = tags.clone()
         twin.unregister(0x1000)
         assert tags.lookup(0x1000) is not None
+
+
+class TestStartupModeEdges:
+    """Global-separability hardening: a deferred free is logically dead.
+
+    During startup, frees are deferred so no startup-time address is ever
+    reused (paper §5).  The deferred chunk stays *resident*, which made a
+    second free or a realloc of it silently corrupt the deferred-free
+    accounting — both are the same use-after-free they would be outside
+    startup mode and must raise.
+    """
+
+    def _heap(self):
+        return PtMallocHeap(AddressSpace())
+
+    def test_startup_double_free_raises(self):
+        heap = self._heap()
+        a = heap.malloc(64)
+        heap.free(a)  # deferred, chunk stays resident
+        with pytest.raises(AllocatorError):
+            heap.free(a)
+
+    def test_startup_realloc_of_freed_address_raises(self):
+        heap = self._heap()
+        a = heap.malloc(64)
+        heap.free(a)
+        with pytest.raises(AllocatorError):
+            heap.realloc(a, 128)
+
+    def test_deferred_free_defers_until_end_startup(self):
+        heap = self._heap()
+        a = heap.malloc(64)
+        heap.free(a)
+        assert heap.malloc(64) != a  # no startup-time address reuse
+        live = heap.live_chunk_count()
+        heap.end_startup()
+        assert heap.live_chunk_count() == live - 1  # now actually released
+        assert not heap._deferred_frees and not heap._deferred
+
+    def test_end_startup_restores_normal_free_semantics(self):
+        heap = self._heap()
+        heap.end_startup()
+        a = heap.malloc(64)
+        heap.free(a)  # immediate outside startup mode
+        assert heap.live_chunk_count() == 0
+        with pytest.raises(AllocatorError):
+            heap.free(a)
+
+    def test_clone_preserves_deferred_accounting(self):
+        space = AddressSpace()
+        heap = PtMallocHeap(space)
+        a = heap.malloc(64)
+        heap.free(a)
+        twin = heap.clone_into(space.clone())
+        with pytest.raises(AllocatorError):
+            twin.free(a)  # still a double free in the twin
+        twin.end_startup()
+        assert not twin._deferred and not twin._deferred_frees
+        # The original is untouched by the twin's end_startup.
+        assert a in heap._deferred

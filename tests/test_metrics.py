@@ -79,9 +79,31 @@ class TestHistogram:
         h.observe(99)
         assert h.percentile(50) == 99
 
+    def test_percentile_zero_is_min(self):
+        # p0 must be the smallest observation, not its bucket's upper
+        # bound (which would overstate it by up to one bucket width).
+        h = Histogram("lat", boundaries=[10, 100, 1000])
+        for value in (7, 50, 500):
+            h.observe(value)
+        assert h.percentile(0) == 7
+
+    def test_percentile_hundred_is_max(self):
+        h = Histogram("lat", boundaries=[10, 100, 1000])
+        for value in (7, 50, 99):
+            h.observe(value)
+        assert h.percentile(100) == 99
+
+    def test_percentile_extremes_single_sample(self):
+        h = Histogram("lat", boundaries=[1000])
+        h.observe(42)
+        assert h.percentile(0) == 42
+        assert h.percentile(100) == 42
+
     def test_empty_histogram(self):
         h = Histogram("lat")
+        assert h.percentile(0) == 0
         assert h.percentile(99) == 0
+        assert h.percentile(100) == 0
         assert h.summary()["max"] == 0
 
     def test_percentile_range_validation(self):
@@ -191,15 +213,24 @@ class TestMetricsRegistry:
 
 
 class TestCounterMerge:
-    def test_merge_sums_and_sorts(self):
+    def test_merge_is_in_place_and_sorts(self):
         a, b = CounterSet(), CounterSet()
         a.incr("x", 2)
         a.incr("z", 1)
         b.incr("x", 3)
         b.incr("a", 7)
-        merged = a.merge(b)
-        assert merged.snapshot() == {"a": 7, "x": 5, "z": 1}
-        # Sources are untouched.
+        assert a.merge(b) is None  # in-place, like Histogram.merge
+        assert a.snapshot() == {"a": 7, "x": 5, "z": 1}
+        # The source is untouched.
+        assert b.get("x") == 3 and b.get("a") == 7
+
+    def test_merged_leaves_sources_untouched(self):
+        a, b = CounterSet(), CounterSet()
+        a.incr("x", 2)
+        b.incr("x", 3)
+        b.incr("a", 7)
+        out = a.merged(b)
+        assert out.snapshot() == {"a": 7, "x": 5}
         assert a.get("x") == 2 and b.get("x") == 3
 
     def test_with_prefix_sorted(self):
@@ -371,6 +402,27 @@ class TestClientLatency:
         # Nothing completes between 100 and the window end at 5_000.
         assert log.blackout_ns(window=(0, 5_000)) == 4_900
 
+    def test_blackout_clamps_completion_before_window(self):
+        log = ClientLatencyLog()
+        log.record(400, 500)  # completed just before the window opens
+        log.record(2_990, 3_000)
+        # The pre-window completion clamps onto lo and bounds the leading
+        # gap there; the measured stall is lo -> 3_000, not the window span.
+        assert log.blackout_ns(window=(1_000, 5_000)) == 2_000
+
+    def test_blackout_clamps_completion_after_window(self):
+        log = ClientLatencyLog()
+        log.record(990, 1_000)
+        log.record(5_990, 6_000)  # completed just after the window closes
+        assert log.blackout_ns(window=(0, 5_000)) == 4_000
+
+    def test_blackout_all_completions_outside_window(self):
+        log = ClientLatencyLog()
+        log.record(5_500, 6_000)
+        log.record(6_500, 7_000)
+        # Every completion clamps onto an edge; the stall is the full span.
+        assert log.blackout_ns(window=(0, 5_000)) == 5_000
+
     def test_blackout_empty(self):
         log = ClientLatencyLog()
         assert log.blackout_ns() == 0
@@ -394,9 +446,10 @@ class TestClientLatency:
         row = latency_summary_ms([1_000_000, 2_000_000, 3_000_000])
         assert row["client_requests"] == 3
         assert row["client_max_ms"] == pytest.approx(3.0)
+        assert row["client_sum_ms"] == pytest.approx(6.0)
         assert set(row) == {
             "client_requests", "client_p50_ms", "client_p95_ms",
-            "client_p99_ms", "client_max_ms",
+            "client_p99_ms", "client_max_ms", "client_sum_ms",
         }
 
 
