@@ -34,7 +34,7 @@ import importlib
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import SERVER_BENCHES, boot_server
-from repro.bench.reporting import render_table
+from repro.bench.reporting import fmt_cell, render_table
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import sim_function
@@ -50,7 +50,7 @@ from repro.workloads.ftpbench import FtpBench
 from repro.workloads.holders import ConnectionHolder
 
 FULL_SERVERS = ("simple", "httpd", "nginx", "vsftpd", "memcache")
-SMOKE_SERVERS = ("simple", "vsftpd")
+SMOKE_SERVERS = ("simple", "vsftpd", "memcache")
 # Servers re-run through the whole site grid in rolling update mode (the
 # multi-worker pools where per-batch hand-off is meaningful).
 ROLLING_FULL_SERVERS = ("httpd", "nginx")
@@ -336,9 +336,9 @@ def render(results: Dict[str, object]) -> str:
                 cell["site"],
                 "yes" if cell["fired"] else "-",
                 outcome,
-                {True: "yes", False: "NO", None: "-"}[cell["rollback_verified"]],
-                "yes" if cell["survived"] else "NO",
-                "yes" if cell["old_version_intact"] else "NO",
+                fmt_cell(cell["rollback_verified"]),
+                fmt_cell(cell["survived"]),
+                fmt_cell(cell["old_version_intact"]),
             ]
         )
     summary = (

@@ -14,9 +14,10 @@ from repro.kernel.kernel import Kernel
 from repro.runtime.instrument import BuildConfig
 from repro.runtime.libmcr import MCRSession
 from repro.runtime.program import Program, load_program
-from repro.servers import httpd, nginx, opensshd, vsftpd
+from repro.servers import httpd, memcache, nginx, opensshd, vsftpd
 from repro.workloads.ab import ApacheBench
 from repro.workloads.ftpbench import FtpBench
+from repro.workloads.mcbench import McBench
 from repro.workloads.sshsuite import SshSuite
 
 
@@ -115,6 +116,14 @@ SERVER_BENCHES: Dict[str, Dict] = {
         "port": 21,
         "workload": lambda: FtpBench(21, users=8, retrievals=2),
         "holder_kind": "ftp",
+        "instrument_regions": False,
+    },
+    "memcache": {
+        "make_program": memcache.make_program,
+        "setup_world": memcache.setup_world,
+        "port": 11211,
+        "workload": lambda: McBench(11211, operations=120, concurrency=4),
+        "holder_kind": None,
         "instrument_regions": False,
     },
     "opensshd": {

@@ -9,10 +9,41 @@ per benchmark.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.clock import fmt_value as _fmt
 from repro.obs.metrics import Histogram
+
+
+def fmt_cell(value: Any) -> str:
+    """The one shared table-cell formatter for benchmark rows.
+
+    Booleans render as the eye-catching ``yes``/``NO`` pair (failures
+    should jump out of a table), ``None`` as ``-``, floats at two
+    decimals.  Every bench's render() goes through this instead of a
+    private local ``fmt`` so cells read identically across reports.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "NO"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def write_bench_json(name: str, results: Any, path: Optional[str] = None) -> str:
+    """Write the canonical ``BENCH_<name>.json`` envelope; returns the path.
+
+    Every benchmark artifact CI uploads goes through here, so the
+    envelope shape (``{"experiment": ..., "results": ...}``) is defined
+    in exactly one place.
+    """
+    from repro.obs.export import write_json
+
+    path = path or f"BENCH_{name}.json"
+    write_json(path, {"experiment": name, "results": results})
+    return path
 
 
 def render_table(

@@ -28,7 +28,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro import obs
 from repro.bench.harness import SERVER_BENCHES, boot_server
-from repro.bench.reporting import render_table
+from repro.bench.reporting import fmt_cell, render_table
 from repro.mcr.config import MCRConfig
 from repro.mcr.ctl import McrCtl
 from repro.mcr.tracing import conservative
@@ -240,10 +240,10 @@ def render(results: Dict[str, object]) -> str:
                 f"{row['slow_wall_ms']:.1f}",
                 f"{row['fast_wall_ms']:.1f}",
                 f"{row['wall_speedup']:.2f}",
-                str(row["virtual_identical"]),
-                str(row["accounting_identical"]),
-                str(row["cache_hits"]),
-                str(row["resolve_calls_avoided"]),
+                fmt_cell(row["virtual_identical"]),
+                fmt_cell(row["accounting_identical"]),
+                fmt_cell(row["cache_hits"]),
+                fmt_cell(row["resolve_calls_avoided"]),
             ]
         )
     lines.append(

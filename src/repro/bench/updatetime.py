@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.bench.harness import SERVER_BENCHES, boot_server
-from repro.bench.reporting import latency_summary_ms, render_table
+from repro.bench.reporting import fmt_cell, latency_summary_ms, render_table
 from repro.clock import ns_to_ms
 from repro.mcr.config import MCRConfig
 from repro.mcr.ctl import McrCtl
@@ -190,7 +190,7 @@ def measure_rolling_comparison(
 
 
 def run_updatetime(
-    servers: Sequence[str] = ("httpd", "nginx", "vsftpd", "opensshd"),
+    servers: Sequence[str] = ("httpd", "nginx", "vsftpd", "opensshd", "memcache"),
 ) -> Dict[str, Dict[str, float]]:
     results: Dict[str, Dict[str, float]] = {}
     for name in servers:
@@ -210,14 +210,10 @@ def render(results: Dict[str, Dict[str, float]]) -> str:
         "client_p50_ms", "client_p99_ms", "blackout_ms", "slo_ok",
     ]
 
-    def fmt(value: object) -> str:
-        if isinstance(value, bool):
-            return "yes" if value else "NO"
-        if isinstance(value, float):
-            return f"{value:.2f}"
-        return str(value)
-
-    rows = [[name] + [fmt(row[k]) for k in keys] for name, row in results.items()]
+    rows = [
+        [name] + [fmt_cell(row[k]) for k in keys]
+        for name, row in results.items()
+    ]
     table = render_table(
         "Update time components",
         ["server"] + keys,
@@ -234,7 +230,7 @@ def render(results: Dict[str, Dict[str, float]]) -> str:
         "rolling_slo_ok", "wt_total_ms", "rolling_total_ms",
     ]
     rolling_rows = [
-        [name] + [fmt(row[k]) for k in rolling_keys]
+        [name] + [fmt_cell(row[k]) for k in rolling_keys]
         for name, row in results.items()
         if "rolling_blackout_ms" in row
     ]

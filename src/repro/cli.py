@@ -163,8 +163,10 @@ def _bench_updatetime(smoke: bool = False):
 
     # The smoke subset must include nginx: CI asserts the rolling-vs-
     # whole-tree blackout comparison for both httpd and nginx.
-    results = run_updatetime(servers=("httpd", "nginx") if smoke else
-                             ("httpd", "nginx", "vsftpd", "opensshd"))
+    results = run_updatetime(
+        servers=("httpd", "nginx", "memcache") if smoke
+        else ("httpd", "nginx", "vsftpd", "opensshd", "memcache")
+    )
     return results, render(results)
 
 
@@ -179,6 +181,13 @@ def _bench_scanperf():
     from repro.bench.scanperf import render, run_scanperf
 
     results = run_scanperf()
+    return results, render(results)
+
+
+def _bench_fleetroll(smoke: bool = False):
+    from repro.bench.fleetroll import render, run_fleetroll
+
+    results = run_fleetroll(smoke=smoke)
     return results, render(results)
 
 
@@ -204,13 +213,14 @@ BENCH_EXPERIMENTS = {
     "ablations": _bench_ablations,
     "scanperf": _bench_scanperf,
     "faultmatrix": _bench_faultmatrix,
+    "fleetroll": _bench_fleetroll,
 }
 
 
 def cmd_bench(args) -> int:
     names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        if name in ("faultmatrix", "updatetime"):
+        if name in ("faultmatrix", "updatetime", "fleetroll"):
             results, text = BENCH_EXPERIMENTS[name](
                 smoke=getattr(args, "smoke", False)
             )
@@ -218,10 +228,9 @@ def cmd_bench(args) -> int:
             results, text = BENCH_EXPERIMENTS[name]()
         print(text, end="\n\n")
         if args.json:
-            from repro.obs.export import write_json
+            from repro.bench.reporting import write_bench_json
 
-            path = f"BENCH_{name}.json"
-            write_json(path, {"experiment": name, "results": results})
+            path = write_bench_json(name, results)
             print(f"wrote {path}")
     return 0
 
@@ -361,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["table1", "table2", "table3", "figure3", "spec",
                  "memusage", "updatetime", "ablations", "scanperf",
-                 "faultmatrix", "all"],
+                 "faultmatrix", "fleetroll", "all"],
     )
     bench.add_argument(
         "--json",
@@ -371,7 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="faultmatrix/updatetime: run the reduced CI server subset",
+        help="faultmatrix/updatetime/fleetroll: run the reduced CI subset",
     )
     bench.set_defaults(fn=cmd_bench)
 

@@ -1,0 +1,332 @@
+"""One stampable simulated host: kernel + server tree + workload + collector.
+
+A ``Node`` is the unit the fleet plane multiplexes: everything a live
+update touches — the kernel (with its own virtual clock), the server
+tree, the MCR session, the client latency log, and the observability
+collector — is owned by the node instance.  Nothing node-scoped lives in
+module globals, so any number of nodes coexist in one Python process and
+an update on one leaves every other node's tree byte-identical (the
+``TreeFingerprint`` regression in ``tests/test_fleet.py`` pins this).
+
+Construction is cheap (~2 ms for the ``simple`` server after module
+import, well under the 50 ms budget), so a 16+-node fleet stamps out in
+well under a second.  All node activity — serving request windows,
+running updates — happens under ``obs.scoped(node.collector)``, which is
+what keeps concurrent kernels from cross-publishing spans, counters, or
+flight-recorder samples.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import SimError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import Process, sim_function
+from repro.mcr.config import MCRConfig
+from repro.mcr.ctl import McrCtl
+from repro.mcr.controller import UpdateResult
+from repro.mcr.faults import TreeFingerprint
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession
+from repro.runtime.program import Program, load_program
+from repro.servers.common import ClientLatencyLog, connect_with_retry
+
+# Per-server request line + expected reply prefix for the fleet's
+# one-shot clients.  Every simulated server speaks a line protocol, so
+# one client shape covers them all; the expectation keeps the probe
+# non-vacuous (an "ERROR unknown" reply never counts as served).
+REQUEST_SCRIPTS: Dict[str, Tuple[str, str]] = {
+    "simple": ("sum", "sum"),
+    "memcache": ("NSTATS", "STATS"),
+    "httpd": ("GET /file1k.bin", ""),
+    "nginx": ("GET /file1k.bin", ""),
+}
+
+# A client whose response stalls longer than this abandons the
+# connection and retries over a fresh connect (real load balancers and
+# AB behave this way); it is what lets request streams ride out a
+# per-node blackout without losing requests.
+DEFAULT_STALL_NS = 5_000_000
+
+
+class Node:
+    """Kernel + server tree + workload + collector, cheap to stamp out."""
+
+    def __init__(
+        self,
+        node_id: int,
+        server: str,
+        kernel: Kernel,
+        module,
+        program: Program,
+        session: MCRSession,
+        collector: obs.Collector,
+        port: int,
+        stall_ns: int = DEFAULT_STALL_NS,
+    ) -> None:
+        self.node_id = node_id
+        self.server = server
+        self.kernel = kernel
+        self.module = module
+        self.program = program
+        self.session = session
+        self.collector = collector
+        self.port = port
+        self.stall_ns = stall_ns
+        self.ctl = McrCtl(kernel, session)
+        self.version = int(program.version)
+        # Client-perceived bookkeeping, fleet-visible.
+        self.latency = ClientLatencyLog()
+        self.requests_sent = 0
+        self.completed = 0
+        self.lost = 0
+        self.reconnects = 0
+        self._clients: List[Process] = []
+        self.updates: List[UpdateResult] = []
+        self.torn_down = False
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def boot(
+        cls,
+        server: str,
+        node_id: int = 0,
+        version: int = 1,
+        build: Optional[BuildConfig] = None,
+        config: Optional[MCRConfig] = None,
+        stall_ns: int = DEFAULT_STALL_NS,
+        max_steps: int = 400_000,
+    ) -> "Node":
+        """Stamp out one node running ``server`` at ``version``.
+
+        The whole boot — world setup, program load, startup — runs under
+        the node's own fresh collector, so even startup spans and
+        counters land in node-local state.
+        """
+        module = importlib.import_module(f"repro.servers.{server}")
+        kernel = Kernel()
+        collector = obs.Collector(kernel.clock)
+        with obs.scoped(collector):
+            module.setup_world(kernel)
+            program = module.make_program(version)
+            session = MCRSession(kernel, program, build or BuildConfig.full(), config)
+            load_program(
+                kernel, program, build=build or BuildConfig.full(), session=session
+            )
+            kernel.run(until=lambda: session.startup_complete, max_steps=max_steps)
+        if not session.startup_complete:
+            raise SimError(f"node {node_id} ({server}): startup did not complete")
+        port = program.metadata.get("port")
+        return cls(
+            node_id, server, kernel, module, program, session, collector, port,
+            stall_ns=stall_ns,
+        )
+
+    # -- scheduling -----------------------------------------------------------
+
+    def scope(self):
+        """The obs activation every slice of node activity runs under."""
+        return obs.scoped(self.collector)
+
+    @property
+    def now_ns(self) -> int:
+        return self.kernel.clock.now_ns
+
+    def run_for(self, duration_ns: int, max_steps: Optional[int] = None) -> str:
+        """Advance this node by exactly ``duration_ns`` of virtual time."""
+        with self.scope():
+            return self.kernel.run_for(duration_ns, max_steps=max_steps)
+
+    def run_until_idle(self, max_steps: Optional[int] = None) -> str:
+        with self.scope():
+            return self.kernel.run_until_idle(max_steps=max_steps)
+
+    def advance_to(self, deadline_ns: int, max_steps: Optional[int] = None) -> None:
+        """Run until the node's clock reaches the fleet-wide deadline."""
+        delta = deadline_ns - self.now_ns
+        if delta > 0:
+            self.run_for(delta, max_steps=max_steps)
+
+    # -- the request stream ---------------------------------------------------
+
+    def serve(self, requests: int) -> None:
+        """Queue ``requests`` one-shot clients into this node's kernel.
+
+        The clients run when the node next advances; each records its
+        virtual-time latency into ``self.latency`` on completion.  A
+        request is *lost* only when its retry budget is exhausted — a
+        stall during a live update reconnects and retries instead, so a
+        healthy update loses nothing.
+        """
+        line, expect = REQUEST_SCRIPTS.get(self.server, ("GET /", ""))
+        for _ in range(requests):
+            self.requests_sent += 1
+            self._clients.append(
+                self.kernel.spawn_process(
+                    _oneshot_request,
+                    args=(self, line, expect),
+                    name=f"fleet-client-{self.node_id}-{self.requests_sent}",
+                )
+            )
+
+    def pending(self) -> int:
+        """Queued/in-flight requests not yet completed or lost."""
+        self._clients = [c for c in self._clients if not c.exited]
+        return len(self._clients)
+
+    def drain(self, max_steps: int = 2_000_000) -> None:
+        """Run until every issued request has completed or been lost."""
+        with self.scope():
+            self.kernel.run(
+                until=lambda: all(c.exited for c in self._clients),
+                max_steps=max_steps,
+            )
+        self._clients = [c for c in self._clients if not c.exited]
+
+    # -- updates --------------------------------------------------------------
+
+    def update(
+        self,
+        program: Optional[Program] = None,
+        to_version: Optional[int] = None,
+        config: Optional[MCRConfig] = None,
+    ) -> UpdateResult:
+        """Run one live update of this node (mid-flight requests ride along).
+
+        The controller records into this node's collector — never into
+        whatever other node's scope happens to be ambient.
+        """
+        if program is None:
+            program = self.module.make_program(to_version or self.version + 1)
+        with self.scope():
+            result = self.ctl.live_update(
+                program, config=config, collector=self.collector
+            )
+        if result.committed:
+            self.session = self.ctl.session
+            self.program = program
+            self.version = int(program.version)
+        self.updates.append(result)
+        return result
+
+    # -- state inspection -----------------------------------------------------
+
+    @property
+    def root(self) -> Process:
+        return self.session.root_process
+
+    def fingerprint(self) -> TreeFingerprint:
+        """Byte-level capture of this node's entire server tree."""
+        return TreeFingerprint.capture(self.kernel, self.root)
+
+    def served_version(self, max_steps: int = 200_000) -> Optional[int]:
+        """Ask the *server* which version is live (protocol-level probe)."""
+        probe = _VersionProbe(self)
+        with self.scope():
+            probe.run(max_steps=max_steps)
+        return probe.version
+
+    def teardown(self) -> None:
+        """Kill the tree and release every port — node-local only."""
+        if self.torn_down:
+            return
+        self.torn_down = True
+        with self.scope():
+            for process in self.kernel.live_processes():
+                self.kernel.terminate_process(process)
+
+
+@sim_function
+def _oneshot_request(sys, node: Node, line: str, expect: str):
+    """One fleet request: connect, send one line, await one reply.
+
+    Retry posture mirrors real client libraries: a response stalled
+    longer than ``node.stall_ns`` abandons the connection and retries
+    over a fresh connect, which lands on whichever worker is live.
+    """
+    clock = sys.kernel.clock
+    start = clock.now_ns
+    try:
+        fd = yield from connect_with_retry(sys, node.port)
+    except SimError:
+        node.lost += 1
+        return
+    attempts = 0
+    while True:
+        try:
+            yield from sys.send(fd, (line + "\n").encode())
+            reply = yield from sys.recv(fd, timeout_ns=node.stall_ns)
+        except SimError:
+            reply = None
+        if (
+            isinstance(reply, (bytes, bytearray))
+            and reply
+            and reply.decode(errors="replace").startswith(expect)
+        ):
+            node.completed += 1
+            node.latency.record(start, clock.now_ns)
+            break
+        attempts += 1
+        if attempts > 100:
+            node.lost += 1
+            break
+        node.reconnects += 1
+        yield from sys.close(fd)
+        try:
+            fd = yield from connect_with_retry(sys, node.port)
+        except SimError:
+            node.lost += 1
+            return
+    yield from sys.close(fd)
+
+
+class _VersionProbe:
+    """Protocol-level 'which version answers here' probe.
+
+    Reads the version the serving tree itself reports (``version`` for
+    the simple server, ``NSTATS``'s trailing ``vN`` for memcache), so
+    fleet end-state checks are grounded in observed behaviour, not
+    orchestrator bookkeeping.
+    """
+
+    _SCRIPTS = {
+        "simple": ("version", "version "),
+        "memcache": ("NSTATS", " v"),
+    }
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.version: Optional[int] = None
+
+    def run(self, max_steps: int = 200_000) -> None:
+        script = self._SCRIPTS.get(self.node.server)
+        if script is None:
+            return
+        line, marker = script
+        probe = self
+
+        @sim_function
+        def version_client(sys):
+            try:
+                fd = yield from connect_with_retry(sys, probe.node.port)
+            except SimError:
+                return
+            yield from sys.send(fd, (line + "\n").encode())
+            reply = yield from sys.recv(fd)
+            if isinstance(reply, (bytes, bytearray)) and reply:
+                text = reply.decode(errors="replace").strip()
+                if marker in text:
+                    tail = text.rsplit(marker, 1)[1].split()[0]
+                    try:
+                        probe.version = int(tail)
+                    except ValueError:
+                        probe.version = None
+            yield from sys.close(fd)
+
+        kernel = self.node.kernel
+        process = kernel.spawn_process(version_client, name="version-probe")
+        kernel.run(until=lambda: process.exited, max_steps=max_steps)

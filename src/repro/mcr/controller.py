@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import sys as _host_sys
+from contextlib import nullcontext
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro import obs
@@ -231,6 +232,7 @@ class LiveUpdateController:
         cost: Optional[TransferCostModel] = None,
         use_dirty_filter: bool = True,
         match_strategy: str = "callstack",
+        collector: Optional["obs.Collector"] = None,
     ) -> None:
         self.kernel = kernel
         self.old_session = old_session
@@ -241,6 +243,11 @@ class LiveUpdateController:
         self.cost = cost or TransferCostModel()
         self.use_dirty_filter = use_dirty_filter  # ablation knob
         self.match_strategy = match_strategy      # "callstack" | "sequential"
+        # The collector this update records into.  None = ambient: use the
+        # active collector when it is bound to this kernel's clock, else a
+        # private one.  A fleet Node passes its own collector here so
+        # concurrent per-node updates never cross-publish.
+        self.collector = collector
         self.new_session: Optional[MCRSession] = None
         # Transaction state (see run_update): once the point of no return
         # is crossed the old tree is gone and any fault rolls *forward*.
@@ -258,20 +265,34 @@ class LiveUpdateController:
             return self._run_update_rolling()
         return self._run_update_whole_tree()
 
+    def _obs_scope(self, clock):
+        """The collector activation this update runs under.
+
+        Preference order: the controller's explicit ``collector`` (a
+        fleet Node's, when the update is driven against one node among
+        many), else an already-active ambient collector bound to the same
+        clock, else a fresh private one.  Black-box recording rides on
+        the event-log -> flight-recorder wiring, so an update must always
+        run under *some* collector; obs never advances the virtual clock,
+        so every measured phase timing is identical either way.
+        """
+        collector = self.collector
+        if collector is None:
+            active = obs.ACTIVE
+            if active is not None and active.clock is clock:
+                return nullcontext(active)
+            collector = obs.Collector(clock)
+        elif obs.ACTIVE is collector:
+            return nullcontext(collector)
+        return obs.scoped(collector)
+
     def _run_update_whole_tree(self) -> UpdateResult:
         result = UpdateResult()
         clock = self.kernel.clock
-        # Black-box recording rides on the event log -> flight recorder
-        # wiring, which needs a live collector.  When the caller installed
-        # none (or one bound to a different clock), run the update under a
-        # private collector so the post-mortem artifact exists even in
-        # bare harnesses; obs never advances the virtual clock, so every
-        # measured phase timing is identical either way.
-        private_collector: Optional[obs.Collector] = None
-        displaced: Optional[obs.Collector] = None
-        if obs.ACTIVE is None or obs.ACTIVE.clock is not clock:
-            private_collector = obs.Collector(clock)
-            displaced = obs.install(private_collector)
+        with self._obs_scope(clock):
+            return self._whole_tree_attempt(result, clock)
+
+    def _whole_tree_attempt(self, result: UpdateResult, clock) -> UpdateResult:
         recorder = obs.recorder_for(clock)
         new_root: Optional[Process] = None
         # Rollback verification baselines (host-side only; never touch the
@@ -388,11 +409,6 @@ class LiveUpdateController:
                 if in_flight is not None:
                     root.attrs["error"] = repr(in_flight)
                 recorder.end(root, status=STATUS_ERROR)
-            if private_collector is not None:
-                if displaced is not None:
-                    obs.install(displaced)
-                else:
-                    obs.uninstall()
         result.finalize_from_spans(root)
         self._emit_finished(result)
         return result
@@ -419,11 +435,10 @@ class LiveUpdateController:
         result = UpdateResult()
         result.mode = "rolling"
         clock = self.kernel.clock
-        private_collector: Optional[obs.Collector] = None
-        displaced: Optional[obs.Collector] = None
-        if obs.ACTIVE is None or obs.ACTIVE.clock is not clock:
-            private_collector = obs.Collector(clock)
-            displaced = obs.install(private_collector)
+        with self._obs_scope(clock):
+            return self._rolling_attempt(result, clock)
+
+    def _rolling_attempt(self, result: UpdateResult, clock) -> UpdateResult:
         recorder = obs.recorder_for(clock)
         new_root: Optional[Process] = None
         verify = bool(getattr(self.config, "verify_rollback", True))
@@ -633,11 +648,6 @@ class LiveUpdateController:
                 if in_flight is not None:
                     root.attrs["error"] = repr(in_flight)
                 recorder.end(root, status=STATUS_ERROR)
-            if private_collector is not None:
-                if displaced is not None:
-                    obs.install(displaced)
-                else:
-                    obs.uninstall()
         result.finalize_from_spans(root)
         self._emit_finished(result)
         return result

@@ -89,14 +89,18 @@ class McrCtl:
         build: Optional[BuildConfig] = None,
         config: Optional[MCRConfig] = None,
         cost: Optional[TransferCostModel] = None,
+        collector=None,
     ) -> UpdateResult:
         """Signal a live update; returns when committed or rolled back.
 
         On success the ctl handle re-binds to the new version's session so
         successive updates can be chained (v1 -> v2 -> v3 ...).
+        ``collector`` pins the update's observability output to one
+        collector (a fleet node's own) instead of whatever is ambient.
         """
         controller = LiveUpdateController(
-            self.kernel, self.session, new_program, build=build, config=config, cost=cost
+            self.kernel, self.session, new_program, build=build, config=config,
+            cost=cost, collector=collector,
         )
         result = controller.run_update()
         self.history.append(result)

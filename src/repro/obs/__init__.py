@@ -17,17 +17,30 @@ Nothing in this package ever advances the virtual clock, so enabling a
 collector changes no measured ratio — observability is free in virtual
 time by construction.
 
+``ACTIVE`` is the top of a **scope stack**, not a bare global: activating
+a collector (``scoped``/``collecting``/``install``) pushes an entry, and
+leaving a scope removes *that entry* wherever it sits in the stack.  That
+makes activation safe for interleaved lifetimes — a fleet harness that
+multiplexes many kernels in one process enters and exits per-node scopes
+in arbitrary order, and each exit restores exactly the collector that
+should be visible, never a stale snapshot of "whatever was active when I
+started".
+
 Usage::
 
     with obs.collecting(kernel.clock) as collector:
         result = ctl.live_update(new_program)
     export.write_json(path, export.chrome_trace(collector))
+
+    node_collector = obs.Collector(node.kernel.clock)
+    with obs.scoped(node_collector):   # re-enterable, per-node
+        node.kernel.run_for(window_ns)
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, List, Optional
 
 from repro.clock import VirtualClock
 from repro.obs.counters import CounterSet
@@ -48,6 +61,7 @@ __all__ = [
     "install",
     "observe",
     "recorder_for",
+    "scoped",
     "uninstall",
 ]
 
@@ -75,33 +89,90 @@ class Collector:
         return collector_to_dict(self)
 
 
-# The installed collector, or None (the no-op fast path).  Hot paths read
-# this attribute directly: ``if obs.ACTIVE is not None: ...``.
+# The active collector, or None (the no-op fast path).  Hot paths read
+# this attribute directly: ``if obs.ACTIVE is not None: ...``.  It is
+# always the collector of the top entry of ``_SCOPES`` (see below) and is
+# only ever written by ``_sync_active``.
 ACTIVE: Optional[Collector] = None
 
 
-def install(collector: Collector) -> Optional[Collector]:
-    """Install ``collector`` globally; returns the one it displaced."""
+class _Scope:
+    """One scope-stack entry.  Identity (not the collector) is the token:
+    the same collector can be activated recursively, and each activation
+    removes exactly its own entry on exit."""
+
+    __slots__ = ("collector",)
+
+    def __init__(self, collector: Collector) -> None:
+        self.collector = collector
+
+
+_SCOPES: List[_Scope] = []
+
+
+def _sync_active() -> None:
     global ACTIVE
-    previous, ACTIVE = ACTIVE, collector
+    ACTIVE = _SCOPES[-1].collector if _SCOPES else None
+
+
+@contextmanager
+def scoped(collector: Collector) -> Iterator[Collector]:
+    """Activate ``collector`` for the duration of the block.
+
+    Exits remove this activation's own stack entry rather than restoring
+    a remembered predecessor, so interleaved (non-LIFO) scope lifetimes
+    resolve correctly: closing an outer scope while an inner one is still
+    open leaves the inner collector active, and closing the inner one
+    then reveals whatever sits below it.
+    """
+    entry = _Scope(collector)
+    _SCOPES.append(entry)
+    _sync_active()
+    try:
+        yield collector
+    finally:
+        try:
+            _SCOPES.remove(entry)
+        except ValueError:  # a bare uninstall() cleared the stack under us
+            pass
+        _sync_active()
+
+
+def install(collector: Collector) -> Optional[Collector]:
+    """Activate ``collector`` globally; returns the one it displaced.
+
+    Imperative counterpart of ``scoped`` for callers without a natural
+    ``with`` block.  Pair with ``uninstall(collector)`` to end exactly
+    this activation.
+    """
+    previous = ACTIVE
+    _SCOPES.append(_Scope(collector))
+    _sync_active()
     return previous
 
 
-def uninstall() -> None:
-    global ACTIVE
-    ACTIVE = None
+def uninstall(collector: Optional[Collector] = None) -> None:
+    """End an activation.
+
+    With a ``collector``, removes that collector's most recent activation
+    (wherever it sits in the stack).  Without one, clears the whole stack
+    — the historical "reset to no collector" behaviour.
+    """
+    if collector is None:
+        _SCOPES.clear()
+    else:
+        for index in range(len(_SCOPES) - 1, -1, -1):
+            if _SCOPES[index].collector is collector:
+                del _SCOPES[index]
+                break
+    _sync_active()
 
 
 @contextmanager
 def collecting(clock: VirtualClock, max_events: int = DEFAULT_CAPACITY) -> Iterator[Collector]:
-    """Install a fresh collector for the duration of the block."""
-    collector = Collector(clock, max_events=max_events)
-    previous = install(collector)
-    try:
+    """Activate a fresh collector for the duration of the block."""
+    with scoped(Collector(clock, max_events=max_events)) as collector:
         yield collector
-    finally:
-        global ACTIVE
-        ACTIVE = previous
 
 
 def recorder_for(clock: VirtualClock) -> SpanRecorder:

@@ -32,9 +32,9 @@ class TestReporting:
 
 
 class TestHarness:
-    def test_all_five_subjects_registered(self):
+    def test_all_subjects_registered(self):
         assert set(SERVER_BENCHES) == {
-            "httpd", "nginx", "nginx_reg", "vsftpd", "opensshd"
+            "httpd", "nginx", "nginx_reg", "vsftpd", "opensshd", "memcache"
         }
         assert set(PRIMARY_SERVERS) <= set(SERVER_BENCHES)
 
@@ -56,9 +56,13 @@ class TestHarness:
         assert list(ladder) == ["baseline", "Unblock", "+SInstr", "+DInstr", "+QDet"]
         assert ladder["+QDet"]().updatable
 
-    def test_paper_reference_tables_cover_all_subjects(self):
-        assert set(PAPER_TABLE3) == set(SERVER_BENCHES)
-        assert set(PAPER_TABLE2) == set(SERVER_BENCHES)
+    def test_paper_reference_tables_cover_paper_subjects(self):
+        # memcache is a repo-added subject; the paper's tables only
+        # report the original five configurations.
+        paper_subjects = {"httpd", "nginx", "nginx_reg", "vsftpd", "opensshd"}
+        assert set(PAPER_TABLE3) == paper_subjects
+        assert set(PAPER_TABLE2) == paper_subjects
+        assert paper_subjects <= set(SERVER_BENCHES)
 
     @pytest.mark.parametrize("name", sorted(SERVER_BENCHES))
     def test_every_subject_boots_and_serves(self, name):

@@ -165,6 +165,40 @@ class TestNoOpFastPath:
             assert obs.ACTIVE is outer
         assert obs.ACTIVE is None
 
+    def test_interleaved_scopes_restore_correctly(self):
+        # Non-LIFO lifetimes: scope A opened before B but closed first
+        # must not displace B from ACTIVE (the fleet plane interleaves
+        # per-node activations exactly like this).
+        clock = VirtualClock()
+        a, b = obs.Collector(clock), obs.Collector(clock)
+        scope_a = obs.scoped(a)
+        scope_b = obs.scoped(b)
+        scope_a.__enter__()
+        scope_b.__enter__()
+        assert obs.ACTIVE is b
+        scope_a.__exit__(None, None, None)  # A exits while B is live
+        assert obs.ACTIVE is b
+        scope_b.__exit__(None, None, None)
+        assert obs.ACTIVE is None
+
+    def test_interleaved_install_uninstall(self):
+        clock = VirtualClock()
+        a, b = obs.Collector(clock), obs.Collector(clock)
+        obs.install(a)
+        obs.install(b)
+        assert obs.ACTIVE is b
+        obs.uninstall(a)  # removes a's activation, not the top
+        assert obs.ACTIVE is b
+        obs.uninstall(b)
+        assert obs.ACTIVE is None
+
+    def test_bare_uninstall_clears_all_scopes(self):
+        clock = VirtualClock()
+        obs.install(obs.Collector(clock))
+        obs.install(obs.Collector(clock))
+        obs.uninstall()
+        assert obs.ACTIVE is None
+
     def test_recorder_for_matches_clock(self):
         clock = VirtualClock()
         with obs.collecting(clock) as collector:
