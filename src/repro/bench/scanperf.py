@@ -3,9 +3,11 @@
 Quantifies the memory-engine fast path on two axes:
 
 * **Microbenchmark** — conservative-scan throughput (words/sec) over a
-  booted server's data + heap mappings: the bulk kernel with interval-
-  indexed resolution and the min/max prefilter vs the reference per-word
-  scanner with cascaded resolution.  Asserts the two produce *identical*
+  booted server's data + heap mappings, three engines deep: the
+  reference per-word scanner, the PR 2 bulk kernel (bounds prefilter +
+  interval index), and the v2 vectorized backend
+  (``repro.mem.scan_backend`` — numpy when installed, the stdlib
+  fallback otherwise).  Asserts all three produce *identical*
   likely-pointer lists and ``words_scanned`` counts (the Table 2/3
   invariance guarantee), and reports how many resolve calls the
   prefilter avoided.
@@ -14,6 +16,9 @@ Quantifies the memory-engine fast path on two axes:
   The *virtual* update time is asserted identical in both modes: the
   fast path changes how fast the host sweeps memory, never what the
   simulation measures.
+* **Scaling curve** — worker count vs sweep throughput and rolling
+  ``run_update`` wall time on scaled-up httpd prefork trees (8 ..
+  1000 server processes), the v2 scheduler's headline workload.
 
 Wired into the CLI as ``python -m repro bench scanperf [--json]``; the
 JSON lands in ``BENCH_scanperf.json`` and is uploaded as a CI artifact so
@@ -33,7 +38,13 @@ from repro.mcr.config import MCRConfig
 from repro.mcr.ctl import McrCtl
 from repro.mcr.tracing import conservative
 from repro.mcr.tracing.graph import AddressResolver
+from repro.mem import scan_backend
 from repro.types.descriptors import WORD_SIZE
+
+# Prefork pool sizes swept by the scaling curve; --smoke trims the sweep
+# so CI stays fast while the committed artifact covers the full range.
+SCALING_WORKER_COUNTS = (8, 64, 256, 1000)
+SMOKE_WORKER_COUNTS = (8, 64)
 
 
 def _scan_targets(process) -> List[Tuple[int, int]]:
@@ -110,6 +121,20 @@ def run_scan_micro(server: str = "httpd", repeats: int = 3) -> Dict[str, object]
             words += scanned
         return found, words
 
+    def sweep_vector() -> Tuple[List, int]:
+        found: List = []
+        words = 0
+        bounds = resolver.scan_bounds()
+        index = resolver.scan_index()
+        for base, size in targets:
+            got, scanned = conservative.scan_range(
+                process.space, base, size, resolver.resolve_for_scan,
+                bounds=bounds, index=index,
+            )
+            found.extend(got)
+            words += scanned
+        return found, words
+
     # Correctness first: identical outputs, and count resolve traffic.
     with obs.collecting(world.kernel.clock) as collector:
         ref_found, ref_words = sweep_ref()
@@ -118,9 +143,14 @@ def run_scan_micro(server: str = "httpd", repeats: int = 3) -> Dict[str, object]
     with obs.collecting(world.kernel.clock) as collector:
         fast_found, fast_words = sweep_fast()
     calls_fast = collector.counters.snapshot().get("scan.resolve_calls", 0)
+    with obs.collecting(world.kernel.clock) as collector:
+        vector_found, vector_words = sweep_vector()
+    calls_vector = collector.counters.snapshot().get("scan.resolve_calls", 0)
     identical = (
         _pointers_key(ref_found) == _pointers_key(fast_found)
-        and ref_words == fast_words
+        and _pointers_key(ref_found) == _pointers_key(vector_found)
+        and ref_words == fast_words == vector_words
+        and calls_fast == calls_vector
     )
     # Then timing (no collector installed: the publish hook is a no-op).
     ref_s = min(
@@ -129,18 +159,25 @@ def run_scan_micro(server: str = "httpd", repeats: int = 3) -> Dict[str, object]
     fast_s = min(
         _timed(sweep_fast) for _ in range(repeats)
     )
+    vector_s = min(
+        _timed(sweep_vector) for _ in range(repeats)
+    )
     resolver.drop_index()
     return {
         "server": server,
+        "backend": scan_backend.ACTIVE.name,
         "ranges": len(targets),
         "words": ref_words,
         "likely_pointers": len(ref_found),
         "identical": identical,
         "ref_words_per_sec": ref_words / ref_s if ref_s else 0.0,
         "fast_words_per_sec": fast_words / fast_s if fast_s else 0.0,
+        "vector_words_per_sec": vector_words / vector_s if vector_s else 0.0,
         "speedup": ref_s / fast_s if fast_s else 0.0,
+        "vector_speedup": ref_s / vector_s if vector_s else 0.0,
         "resolve_calls_ref": calls_ref,
         "resolve_calls_fast": calls_fast,
+        "resolve_calls_vector": calls_vector,
         "resolve_calls_avoided": calls_ref - calls_fast,
     }
 
@@ -182,10 +219,96 @@ def _measure_update(name: str, fast: bool) -> Dict[str, object]:
     }
 
 
+def run_scaling_curve(
+    worker_counts: Sequence[int] = SCALING_WORKER_COUNTS,
+    warm_responses: int = 8,
+) -> List[Dict[str, object]]:
+    """Sweep throughput and rolling-update wall time vs prefork pool size.
+
+    Boots httpd with ``server_processes`` overridden per point, serves a
+    few keep-alive requests, then rolls the whole pool through one
+    rolling ``run_update`` (batch = a quarter of the pool).  The client
+    reconnect stall is 100 ms: at 1000 workers a connection event wakes
+    the whole epoll herd and each woken quiescent-point entry advances
+    the global virtual clock, so per-request latency genuinely grows
+    with the pool — an aggressive few-ms stall would starve itself.
+    """
+    from repro.kernel.kernel import Kernel
+    from repro.servers import httpd
+    from repro.workloads.ab import ApacheBench
+
+    rows: List[Dict[str, object]] = []
+    for workers in worker_counts:
+        def factory(version=1, mcr_prepared=True, _n=workers):
+            return httpd.make_program(version, mcr_prepared, server_processes=_n)
+
+        kernel = Kernel()
+        start = time.perf_counter()
+        world = boot_server("httpd", 1, None, kernel, factory)
+        boot_s = time.perf_counter() - start
+        process = world.root
+        processes = len(process.tree())
+        _seed_pointer_field(process)
+        targets = _scan_targets(process)
+        resolver = AddressResolver(process)
+        resolver.build_index()
+        bounds = resolver.scan_bounds()
+        index = resolver.scan_index()
+
+        def sweep() -> int:
+            words = 0
+            for base, size in targets:
+                _got, scanned = conservative.scan_range(
+                    process.space, base, size, resolver.resolve_for_scan,
+                    bounds=bounds, index=index,
+                )
+                words += scanned
+            return words
+
+        words = sweep()
+        sweep_s = min(_timed(sweep) for _ in range(2))
+        resolver.drop_index()
+        workload = ApacheBench(
+            80, requests=24, concurrency=4, reconnect_stall_ns=100_000_000
+        )
+        workload(kernel)
+        kernel.run(
+            until=lambda: workload.latency.count >= warm_responses,
+            max_steps=4_000_000,
+        )
+        ctl = McrCtl(kernel, world.session)
+        config = MCRConfig(
+            update_mode="rolling", rolling_batch=max(1, workers // 4)
+        )
+        start = time.perf_counter()
+        result = ctl.live_update(factory(2), config=config)
+        update_s = time.perf_counter() - start
+        if not result.committed:
+            raise RuntimeError(
+                f"scaling curve @{workers} workers: update failed: {result.error}"
+            )
+        rows.append(
+            {
+                "workers": workers,
+                "processes": processes,
+                "boot_wall_ms": boot_s * 1000.0,
+                "sweep_words": words,
+                "sweep_words_per_sec": words / sweep_s if sweep_s else 0.0,
+                "update_wall_ms": update_s * 1000.0,
+                "virtual_total_ms": result.total_ms(),
+                "rolling_batches": result.rolling_batches,
+                "warm_responses": workload.latency.count,
+                "committed": result.committed,
+            }
+        )
+    return rows
+
+
 def run_scanperf(
     servers: Sequence[str] = ("httpd", "vsftpd"),
     micro_server: str = "httpd",
     repeats: int = 3,
+    worker_counts: Sequence[int] = SCALING_WORKER_COUNTS,
 ) -> Dict[str, object]:
     results: Dict[str, object] = {"microbench": run_scan_micro(micro_server, repeats)}
     per_server: Dict[str, Dict[str, object]] = {}
@@ -214,6 +337,7 @@ def run_scanperf(
             "words_from_cache": fast["words_from_cache"],
         }
     results["servers"] = per_server
+    results["scaling_curve"] = run_scaling_curve(worker_counts)
     return results
 
 
@@ -223,13 +347,16 @@ def render(results: Dict[str, object]) -> str:
         "Scan fast-path microbenchmark "
         f"({micro['server']}: {micro['words']} words, "
         f"{micro['likely_pointers']} likely pointers, "
-        f"identical={micro['identical']})",
-        f"  reference : {micro['ref_words_per_sec']:,.0f} words/sec "
+        f"identical={micro['identical']}, backend={micro['backend']})",
+        f"  reference  : {micro['ref_words_per_sec']:,.0f} words/sec "
         f"({micro['resolve_calls_ref']} resolve calls)",
-        f"  fast path : {micro['fast_words_per_sec']:,.0f} words/sec "
+        f"  fast path  : {micro['fast_words_per_sec']:,.0f} words/sec "
         f"({micro['resolve_calls_fast']} resolve calls, "
         f"{micro['resolve_calls_avoided']} avoided)",
-        f"  speedup   : {micro['speedup']:.1f}x",
+        f"  vectorized : {micro['vector_words_per_sec']:,.0f} words/sec "
+        f"({micro['resolve_calls_vector']} resolve calls)",
+        f"  speedup    : {micro['speedup']:.1f}x bulk, "
+        f"{micro['vector_speedup']:.1f}x vectorized",
         "",
     ]
     rows = []
@@ -266,4 +393,41 @@ def render(results: Dict[str, object]) -> str:
             ),
         )
     )
+    curve = results.get("scaling_curve")
+    if curve:
+        curve_rows = [
+            [
+                str(point["workers"]),
+                str(point["processes"]),
+                f"{point['boot_wall_ms']:.0f}",
+                f"{point['sweep_words_per_sec']:,.0f}",
+                f"{point['update_wall_ms']:.0f}",
+                f"{point['virtual_total_ms']:.1f}",
+                str(point["rolling_batches"]),
+                fmt_cell(point["committed"]),
+            ]
+            for point in curve
+        ]
+        lines.append("")
+        lines.append(
+            render_table(
+                "httpd prefork scaling curve (rolling run_update)",
+                [
+                    "workers",
+                    "procs",
+                    "boot_ms",
+                    "sweep_words/s",
+                    "update_wall_ms",
+                    "virt_ms",
+                    "batches",
+                    "ok",
+                ],
+                curve_rows,
+                note=(
+                    "workers = server_processes override; update = one rolling "
+                    "run_update with batch = workers/4 under a keep-alive "
+                    "AB workload (100 ms reconnect stall)"
+                ),
+            )
+        )
     return "\n".join(lines)

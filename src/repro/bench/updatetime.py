@@ -37,6 +37,10 @@ from repro.workloads.ab import ApacheBench
 # comparison (the registered default stays single-worker).
 ROLLING_SERVERS = ("httpd", "nginx")
 
+# Pool size for the scaled-up rolling row (non-smoke runs only): the v2
+# scheduler's headline configuration, a 1000-process httpd prefork tree.
+SCALE_WORKERS = 1000
+
 
 def measure_quiescence_under_load(name: str) -> Dict[str, float]:
     """Quiescence time with the benchmark running vs idle."""
@@ -189,8 +193,74 @@ def measure_rolling_comparison(
     return row
 
 
+def measure_rolling_at_scale(
+    name: str = "httpd",
+    workers: int = SCALE_WORKERS,
+    to_version: int = 2,
+    warm_requests: int = 8,
+) -> Dict[str, object]:
+    """One rolling update over a scaled-up prefork pool, clients riding.
+
+    Boots httpd with ``server_processes`` overridden, warms a keep-alive
+    AB workload, then rolls the pool in quarter-sized batches.  The
+    client reconnect stall is 100 ms (not the comparison's 5 ms): at
+    this scale each connection event wakes the whole epoll herd and
+    every woken quiescent-point entry advances the global virtual clock,
+    so per-request latency genuinely grows with the pool and an
+    aggressive stall would starve itself reconnecting.
+    """
+    import time as _time
+
+    from repro.kernel.kernel import Kernel
+    from repro.servers import httpd as _httpd
+
+    spec = SERVER_BENCHES[name]
+
+    def factory(version, _n=workers):
+        return _httpd.make_program(version, server_processes=_n)
+
+    kernel = Kernel()
+    world = boot_server(name, kernel=kernel, make_program=factory)
+    workload = ApacheBench(
+        spec["port"], requests=24, concurrency=4, reconnect_stall_ns=100_000_000
+    )
+    clients = workload(kernel)
+    kernel.run(
+        until=lambda: workload.latency.count >= warm_requests,
+        max_steps=4_000_000,
+    )
+    ctl = McrCtl(kernel, world.session)
+    start = _time.perf_counter()
+    result = ctl.live_update(
+        factory(to_version),
+        config=MCRConfig(
+            update_mode="rolling", rolling_batch=max(1, workers // 4)
+        ),
+    )
+    wall_s = _time.perf_counter() - start
+    if not result.committed:
+        raise RuntimeError(
+            f"{name}@{workers}: scaled rolling update failed: {result.error}"
+        )
+    kernel.run(until=lambda: all(c.exited for c in clients), max_steps=6_000_000)
+    budget_ns = world.session.config.downtime_budget_ns
+    perceived = ClientPerceived.measure(workload.latency, budget_ns=budget_ns)
+    return {
+        "workers": workers,
+        "rolling_batches": result.rolling_batches,
+        "virtual_total_ms": result.total_ms(),
+        "update_wall_ms": wall_s * 1000.0,
+        "blackout_ms": ns_to_ms(perceived.blackout_ns),
+        "slo_ok": perceived.slo_ok,
+        "requests": workload.latency.count,
+        "workload_errors": workload.errors,
+        "committed": result.committed,
+    }
+
+
 def run_updatetime(
     servers: Sequence[str] = ("httpd", "nginx", "vsftpd", "opensshd", "memcache"),
+    scale_workers: Optional[int] = SCALE_WORKERS,
 ) -> Dict[str, Dict[str, float]]:
     results: Dict[str, Dict[str, float]] = {}
     for name in servers:
@@ -200,6 +270,10 @@ def run_updatetime(
         if name in ROLLING_SERVERS:
             row.update(measure_rolling_comparison(name))
         results[name] = row
+    if scale_workers and "httpd" in results:
+        results["httpd"]["scale_rolling"] = measure_rolling_at_scale(
+            workers=scale_workers
+        )
     return results
 
 
@@ -243,6 +317,26 @@ def render(results: Dict[str, Dict[str, float]]) -> str:
                 "rolling: per-worker-batch quiesce/trace/transfer while the "
                 "rest of the pool keeps serving; total update time may grow "
                 "while client-perceived blackout shrinks"
+            ),
+        )
+    scale_keys = [
+        "workers", "rolling_batches", "virtual_total_ms", "update_wall_ms",
+        "blackout_ms", "slo_ok", "workload_errors",
+    ]
+    scale_rows = [
+        [name] + [fmt_cell(row["scale_rolling"][k]) for k in scale_keys]
+        for name, row in results.items()
+        if "scale_rolling" in row
+    ]
+    if scale_rows:
+        table += "\n\n" + render_table(
+            "Rolling update at scale (v2 scheduler fast path)",
+            ["server"] + scale_keys,
+            scale_rows,
+            note=(
+                "one rolling run_update over a 1000-process prefork tree "
+                "with clients mid-flight; feasible only with the "
+                "runnable-only scheduler fast path"
             ),
         )
     return table

@@ -10,7 +10,8 @@ Commands:
   (table1, table2, table3, figure3, spec, memusage, updatetime,
   ablations, scanperf, faultmatrix, or ``all``); ``--json`` also writes
   ``BENCH_<experiment>.json`` through ``repro.obs.export``;
-  ``--smoke`` shrinks faultmatrix to its CI subset.
+  ``--smoke`` shrinks faultmatrix, updatetime, fleetroll, and scanperf
+  to their CI subsets.
 * ``trace [server]``         — live-update a server under an installed
   observability collector and print the span tree + counters;
   ``--export FILE`` writes a Chrome ``trace_event`` JSON (Perfetto).
@@ -159,13 +160,15 @@ def _bench_memusage():
 
 
 def _bench_updatetime(smoke: bool = False):
-    from repro.bench.updatetime import render, run_updatetime
+    from repro.bench.updatetime import SCALE_WORKERS, render, run_updatetime
 
     # The smoke subset must include nginx: CI asserts the rolling-vs-
-    # whole-tree blackout comparison for both httpd and nginx.
+    # whole-tree blackout comparison for both httpd and nginx.  The
+    # 1000-worker scaled rolling row only runs in the full bench.
     results = run_updatetime(
         servers=("httpd", "nginx", "memcache") if smoke
-        else ("httpd", "nginx", "vsftpd", "opensshd", "memcache")
+        else ("httpd", "nginx", "vsftpd", "opensshd", "memcache"),
+        scale_workers=None if smoke else SCALE_WORKERS,
     )
     return results, render(results)
 
@@ -177,10 +180,19 @@ def _bench_ablations():
     return results, render_all(results)
 
 
-def _bench_scanperf():
-    from repro.bench.scanperf import render, run_scanperf
+def _bench_scanperf(smoke: bool = False):
+    from repro.bench.scanperf import (
+        SCALING_WORKER_COUNTS,
+        SMOKE_WORKER_COUNTS,
+        render,
+        run_scanperf,
+    )
 
-    results = run_scanperf()
+    # Smoke trims the scaling curve to its small worker counts; the
+    # committed artifact (non-smoke) sweeps the full range up to 1000.
+    results = run_scanperf(
+        worker_counts=SMOKE_WORKER_COUNTS if smoke else SCALING_WORKER_COUNTS
+    )
     return results, render(results)
 
 
@@ -220,7 +232,7 @@ BENCH_EXPERIMENTS = {
 def cmd_bench(args) -> int:
     names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        if name in ("faultmatrix", "updatetime", "fleetroll"):
+        if name in ("faultmatrix", "updatetime", "fleetroll", "scanperf"):
             results, text = BENCH_EXPERIMENTS[name](
                 smoke=getattr(args, "smoke", False)
             )
@@ -380,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="faultmatrix/updatetime/fleetroll: run the reduced CI subset",
+        help="faultmatrix/updatetime/fleetroll/scanperf: run the reduced CI subset",
     )
     bench.set_defaults(fn=cmd_bench)
 

@@ -20,11 +20,13 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import BadFileDescriptor
 
-RESERVED_BASE = 900  # bottom of the reserved (non-reusable) fd range
-STASH_BASE = 600     # inheritance stash: distinct from the reserved range,
-STASH_MAX = 900      # so stash numbers can never collide with recorded
-                     # startup fd numbers (which live at RESERVED_BASE+)
-FD_MAX = 1024
+RESERVED_BASE = 900   # bottom of the reserved (non-reusable) fd range
+FD_MAX = 1024         # top of the reserved range
+STASH_BASE = 4096     # inheritance stash: above the reserved range, so
+STASH_MAX = 65536     # stash numbers can never collide with recorded
+                      # startup fd numbers (RESERVED_BASE..FD_MAX) and the
+                      # range is wide enough for 1000-worker trees, whose
+                      # global inheritance stashes a few fds per worker
 
 
 class FDTable:

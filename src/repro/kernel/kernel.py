@@ -3,10 +3,20 @@
 Scheduling model: a round-robin run queue of threads.  Each step resumes a
 thread's generator with the result of its previous syscall; the generator
 yields its next ``SyscallRequest``; the syscall table executes it.  Blocking
-syscalls park the thread with a readiness predicate that the scheduler
-re-polls between steps; timed calls carry a virtual-time deadline (this is
-what MCR's unblockification builds on).  When nothing is runnable the clock
-jumps to the earliest deadline, so blocking costs no host time.
+syscalls park the thread with a readiness predicate plus the *wait
+channels* (kernel objects) whose state changes can satisfy it; timed calls
+carry a virtual-time deadline (this is what MCR's unblockification builds
+on).  When nothing is runnable the clock jumps to the earliest deadline,
+so blocking costs no host time.
+
+The v2 scheduler polls a blocked thread's predicate only when (a) one of
+its wait channels was kicked, (b) its deadline or wake hint came due (a
+heap, not a scan), or (c) the wait carries no channels and no timing — an
+uninstrumented predicate like ``select``, polled every round as before.
+Idle workers therefore cost nothing per round, which is what makes
+1000-worker process trees steppable.  Before declaring the world idle the
+scheduler still polls *every* blocked thread once, so a readiness change
+no channel announced degrades to the old behavior instead of hanging.
 
 Virtual time advances by a per-step cost plus the dispatched syscall's cost
 (see ``syscalls.BASE_COSTS``); soft-dirty write-protect faults taken by the
@@ -15,6 +25,7 @@ running process are charged as they occur.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
@@ -23,7 +34,7 @@ from repro.clock import VirtualClock
 from repro.errors import SimError
 from repro.kernel.files import SimFileSystem
 from repro.kernel.namespaces import PidNamespace
-from repro.kernel.process import BLOCKED, EXITED, Process, RUNNABLE, Thread
+from repro.kernel.process import BLOCKED, EXITED, Process, RUNNABLE, Thread, WaitQueue
 from repro.kernel.sockets import NetworkStack
 from repro.kernel.syscalls import (
     Blocked,
@@ -56,9 +67,11 @@ class Barrier:
         self.expected = expected
         self.arrived = 0
         self.released = False
+        self.waitq = WaitQueue()
 
     def release(self) -> None:
         self.released = True
+        self.waitq.kick()
 
 
 class Kernel:
@@ -77,7 +90,20 @@ class Kernel:
         self.processes: Dict[int, Process] = {}
         self._next_global_id = 1
         self._run_queue: Deque[Thread] = deque()
-        self._blocked: List[Thread] = []
+        # All currently-blocked threads, in park order.  A dict (insertion
+        # ordered, O(1) add/remove) rather than a list: at 1000-worker
+        # scale the old list's O(n) remove-on-wake dominated.
+        self._blocked: Dict[Thread, None] = {}
+        # v2 scheduler poll sets: threads whose wait channel was kicked,
+        # threads with uninstrumented predicates (polled every round), and
+        # a heap of (when_ns, entry_seq, thread, park_seq) deadlines/wake
+        # hints.  Heap and _polled entries are validated lazily against
+        # the thread's park_seq.
+        self._hot: List[Thread] = []
+        self._polled: List[Tuple[Thread, int]] = []
+        self._deadlines: List[Tuple[int, int, Thread, int]] = []
+        self._park_counter = 0
+        self._heap_counter = 0
         self._fault_charged: Dict[int, int] = {}
         self.steps_executed = 0
 
@@ -255,6 +281,10 @@ class Kernel:
         process.exit_status = status
         namespace = getattr(process, "namespace", None) or self.pidns
         namespace.release(process.pid)
+        # A parent blocked in wait_child can now reap this process.
+        parent = process.parent
+        if parent is not None and not parent.exited:
+            parent.waitq.kick()
 
     def terminate_tree(self, process: Process, status: int = 0) -> None:
         """Kill a process and every live descendant (rollback/teardown)."""
@@ -270,8 +300,7 @@ class Kernel:
             thread.body.close()
         if thread in self._run_queue:
             self._run_queue.remove(thread)
-        if thread in self._blocked:
-            self._blocked.remove(thread)
+        self._blocked.pop(thread, None)
 
     # -- scheduler ----------------------------------------------------------------
 
@@ -309,13 +338,19 @@ class Kernel:
                 self._step(thread)
                 budget -= 1
                 made_progress = True
-            # Poll blocked threads.
+            # Poll kicked / deadline-due / always-polled blocked threads.
             woken = self._poll_blocked()
             made_progress = made_progress or woken
             if not made_progress and not self._run_queue:
-                jumped = self._advance_to_next_deadline()
-                if not jumped:
-                    return "idle"
+                if self._advance_to_next_deadline():
+                    continue
+                # No deadline left to jump to.  Before declaring the world
+                # dead, poll every blocked thread once: a readiness change
+                # no wait channel announced must still wake its waiter
+                # (this is the fast path's safety net, not its hot path).
+                if self._poll_blocked(full=True):
+                    continue
+                return "idle"
 
     def run_for(self, duration_ns: int, max_steps: Optional[int] = None) -> str:
         """Run the world for exactly ``duration_ns`` of virtual time.
@@ -341,6 +376,10 @@ class Kernel:
         collector = obs.ACTIVE
         if collector is not None:
             collector.counters.incr("kernel.steps")
+            # Gauge-sampling dirty mark: the flight recorder recomputes
+            # per-process gauges only for processes stamped since its
+            # previous sample.
+            thread.process.gauge_stamp = self.steps_executed
             # Scheduler tick hook: every N-th step the flight recorder
             # takes a gauge sample of the world (runnable/blocked counts,
             # allocator occupancy, fd totals, dirty faults).
@@ -391,7 +430,7 @@ class Kernel:
                 thread.wait_deadline_ns = None
             thread.wake_hint_ns = result.wake_ns
             thread.block_started_ns = self.clock.now_ns
-            self._blocked.append(thread)
+            self._park(thread, result.channels)
             return
         if isinstance(result, ExitProcess):
             self.terminate_process(thread.process, result.status)
@@ -402,22 +441,106 @@ class Kernel:
         thread.pending_value = result
         self._run_queue.append(thread)
 
-    def _poll_blocked(self) -> bool:
+    def _park(self, thread: Thread, channels: Tuple) -> None:
+        """Register a freshly-blocked thread with the poll machinery."""
+        self._park_counter += 1
+        thread.park_seq = seq = self._park_counter
+        thread.poll_hot = False
+        thread.wait_channels = channels
+        for channel in channels:
+            channel.waitq.park(thread)
+        deadline = thread.wait_deadline_ns
+        if deadline is not None:
+            self._push_deadline(deadline, thread, seq)
+        hint = thread.wake_hint_ns
+        if hint is not None and hint != deadline:
+            self._push_deadline(hint, thread, seq)
+        # No channel and no timing: the predicate is uninstrumented
+        # (select) — fall back to polling it every round.
+        thread.always_polled = not channels and deadline is None and hint is None
+        if thread.always_polled:
+            self._polled.append((thread, seq))
+        self._blocked[thread] = None
+
+    def _push_deadline(self, when_ns: int, thread: Thread, park_seq: int) -> None:
+        # The entry counter breaks timestamp ties (threads don't compare).
+        self._heap_counter += 1
+        heapq.heappush(self._deadlines, (when_ns, self._heap_counter, thread, park_seq))
+
+    def mark_poll_hot(self, thread: Thread) -> None:
+        """A wait channel was kicked: re-poll this thread next round."""
+        if not thread.poll_hot:
+            thread.poll_hot = True
+            self._hot.append(thread)
+
+    def _poll_blocked(self, full: bool = False) -> bool:
+        """Poll blocked threads whose readiness could have changed.
+
+        The candidate set is: threads some wait channel kicked since the
+        last round, threads whose deadline/wake hint came due (popped from
+        the heap), and always-polled threads (select).  Candidates are
+        polled in park order — exactly the order the original
+        scan-everything scheduler used — so wake order is unchanged.
+        ``full=True`` polls every blocked thread (the pre-idle safety
+        net).
+        """
+        now = self.clock.now_ns
+        if full:
+            for thread in self._hot:
+                thread.poll_hot = False
+            self._hot = []
+            candidates = list(self._blocked)
+        else:
+            candidates = []
+            heap = self._deadlines
+            while heap and heap[0][0] <= now:
+                _when, _entry, thread, seq = heapq.heappop(heap)
+                if thread.state == BLOCKED and thread.park_seq == seq:
+                    candidates.append(thread)
+            if self._hot:
+                hot, self._hot = self._hot, []
+                for thread in hot:
+                    thread.poll_hot = False
+                    if thread.state == BLOCKED:
+                        candidates.append(thread)
+            if self._polled:
+                keep = []
+                for entry in self._polled:
+                    thread, seq = entry
+                    if thread.state == BLOCKED and thread.park_seq == seq:
+                        candidates.append(thread)
+                        keep.append(entry)
+                self._polled = keep
+            if not candidates:
+                return False
+            if len(candidates) > 1:
+                candidates.sort(key=lambda t: t.park_seq)
         woken = False
-        for thread in list(self._blocked):
-            if thread.state != BLOCKED:
-                self._blocked.remove(thread)
-                continue
+        last: Optional[Thread] = None
+        for thread in candidates:
+            if thread is last or thread.state != BLOCKED:
+                continue  # duplicate entry, or woken earlier this round
+            last = thread
             is_ready, value = thread.wait_ready()
             if is_ready:
                 self._wake(thread, value)
                 woken = True
-            elif (
-                thread.wait_deadline_ns is not None
-                and self.clock.now_ns >= thread.wait_deadline_ns
-            ):
+                continue
+            deadline = thread.wait_deadline_ns
+            if deadline is not None and now >= deadline:
                 self._wake(thread, TIMEOUT)
                 woken = True
+                continue
+            if (
+                not thread.always_polled
+                and not thread.wait_channels
+                and (deadline is None or deadline <= now)
+            ):
+                # A wake hint that did not pan out and nothing else left
+                # to re-arm this thread: degrade it to always-polled
+                # rather than let it sleep forever.
+                thread.always_polled = True
+                self._polled.append((thread, thread.park_seq))
         return woken
 
     def _wake(self, thread: Thread, value: Any) -> None:
@@ -437,28 +560,30 @@ class Kernel:
                 site=site,
                 blocked_ns=elapsed,
             )
-        self._blocked.remove(thread)
+        self._blocked.pop(thread, None)
         thread.state = RUNNABLE
         thread.wait_ready = None
         thread.wait_deadline_ns = None
         thread.wake_hint_ns = None
+        thread.wait_channels = ()
+        thread.always_polled = False
         thread.blocked_on = ""
         thread.pending_value = value
         self._run_queue.append(thread)
 
     def _advance_to_next_deadline(self) -> bool:
-        deadlines = []
-        for t in self._blocked:
-            if t.state != BLOCKED:
-                continue
-            if t.wait_deadline_ns is not None:
-                deadlines.append(t.wait_deadline_ns)
-            hint = getattr(t, "wake_hint_ns", None)
-            if hint is not None:
-                deadlines.append(hint)
-        if not deadlines:
+        # Earliest *valid* heap entry; stale ones (woken or re-parked
+        # threads) are discarded on the way.
+        heap = self._deadlines
+        target = None
+        while heap:
+            when_ns, _entry, thread, seq = heap[0]
+            if thread.state == BLOCKED and thread.park_seq == seq:
+                target = when_ns
+                break
+            heapq.heappop(heap)
+        if target is None:
             return False
-        target = min(deadlines)
         if target > self.clock.now_ns:
             collector = obs.ACTIVE
             if collector is not None:

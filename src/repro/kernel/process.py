@@ -32,6 +32,61 @@ BLOCKED = "blocked"
 EXITED = "exited"
 
 
+class WaitQueue:
+    """Threads parked on one kernel object (a scheduler wait channel).
+
+    The v2 scheduler polls a blocked thread's readiness predicate only
+    when something could have changed it.  Every kernel object a thread
+    can wait on (sockets, barriers, processes for ``wait_child``) owns a
+    ``WaitQueue``; blocking registers the thread here and the object calls
+    :meth:`kick` at each state change that could satisfy a waiter, which
+    marks the registered threads *poll-hot* on their kernel.
+
+    Entries are ``(thread, park_seq)`` pairs validated lazily: a woken or
+    re-parked thread carries a newer ``park_seq``, so stale entries are
+    dropped on the next kick (or pruned when the queue grows) instead of
+    requiring explicit deregistration on every wake.
+    """
+
+    __slots__ = ("_entries", "_prune_at")
+
+    def __init__(self) -> None:
+        self._entries: List[Any] = []
+        self._prune_at = 64
+
+    def park(self, thread: "Thread") -> None:
+        entries = self._entries
+        if len(entries) >= self._prune_at:
+            # Amortized-O(1) staleness sweep: prune, then defer the next
+            # sweep until the queue doubles again.  A fixed threshold
+            # would rescan a legitimately-large queue (1000 acceptors on
+            # one listener) on every park — quadratic.
+            entries[:] = [
+                e for e in entries if e[0].state == BLOCKED and e[0].park_seq == e[1]
+            ]
+            self._prune_at = max(64, 2 * len(entries))
+        entries.append((thread, thread.park_seq))
+
+    def kick(self) -> None:
+        """Wake candidates: mark every validly-parked thread poll-hot.
+
+        A kicked thread is *not* woken here — the scheduler re-runs its
+        readiness predicate on the next poll round (two waiters racing for
+        one connection must still resolve to one winner).  Valid entries
+        are kept registered for exactly that reason.
+        """
+        entries = self._entries
+        if not entries:
+            return
+        keep = []
+        for entry in entries:
+            thread, seq = entry
+            if thread.state == BLOCKED and thread.park_seq == seq:
+                thread.process.kernel.mark_poll_hot(thread)
+                keep.append(entry)
+        self._entries = keep
+
+
 def call_stack_id(names: List[str]) -> int:
     """Version-agnostic context hash of the active function names."""
     digest = hashlib.sha1("/".join(names).encode()).digest()
@@ -89,6 +144,15 @@ class Thread:
         self.wake_hint_ns: Optional[int] = None
         self.block_started_ns: int = 0
         self.blocked_on: str = ""
+        # v2 scheduler wait-channel bookkeeping: ``park_seq`` versions each
+        # park (stale WaitQueue/deadline entries carry an older value),
+        # ``poll_hot`` marks a kicked thread awaiting re-poll, and
+        # ``always_polled`` flags waits with uninstrumented predicates
+        # (select) that must be polled every round.
+        self.park_seq = 0
+        self.poll_hot = False
+        self.always_polled = False
+        self.wait_channels: tuple = ()
         # Quiescence/profiling bookkeeping.
         self.reached_qp = False  # arrived at its quiescent point at least once
         self.loop_stack: List[str] = []
@@ -138,6 +202,13 @@ class Process:
         self.fdtable = fdtable if fdtable is not None else FDTable()
         self.threads: Dict[int, Thread] = {}
         self._next_tid = 1
+        # Wait channel for ``wait_child`` callers: kicked when a child of
+        # this process exits.
+        self.waitq = WaitQueue()
+        # Last kernel step that executed one of this process's threads;
+        # the flight recorder uses it to recompute per-process gauges only
+        # for processes that actually ran since the previous sample.
+        self.gauge_stamp = 0
         self.exited = False
         self.exit_status = 0
         self.namespace: Any = None  # PidNamespace; set by the kernel

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import AddressInUse, SimError
+from repro.kernel.process import WaitQueue
 
 
 class _RefCounted:
@@ -32,6 +33,27 @@ class _RefCounted:
         self.refcount -= 1
 
 
+class _Waitable(_RefCounted):
+    """A kernel object threads can park on (see ``process.WaitQueue``).
+
+    ``waitq`` holds direct waiters (accept/recv/recvmsg on this object);
+    ``watchers`` back-links every epoll instance whose interest set
+    includes this object, so a readiness change here also re-polls
+    ``epoll_wait`` parkers.  Mutations that could make a waiter ready must
+    call :meth:`wake_waiters`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.waitq = WaitQueue()
+        self.watchers: List["EpollObject"] = []
+
+    def wake_waiters(self) -> None:
+        self.waitq.kick()
+        for epoll in self.watchers:
+            epoll.waitq.kick()
+
+
 class UnboundSocket(_RefCounted):
     """A fresh socket() before bind/connect (placeholder kernel object)."""
 
@@ -42,7 +64,7 @@ class UnboundSocket(_RefCounted):
         self.sock_id = sock_id
 
 
-class ListeningSocket(_RefCounted):
+class ListeningSocket(_Waitable):
     """A bound, listening server socket with an accept queue."""
 
     kind = "listener"
@@ -62,12 +84,13 @@ class ListeningSocket(_RefCounted):
         if len(self.accept_queue) >= self.backlog:
             raise SimError(f"accept backlog full on port {self.port}")
         self.accept_queue.append(server_end)
+        self.wake_waiters()
 
     def pop_connection(self) -> "StreamEndpoint":
         return self.accept_queue.pop(0)
 
 
-class StreamEndpoint(_RefCounted):
+class StreamEndpoint(_Waitable):
     """One side of an established stream connection."""
 
     kind = "stream"
@@ -87,6 +110,7 @@ class StreamEndpoint(_RefCounted):
         if self.peer is None or self.peer.closed:
             raise SimError("send on disconnected socket (EPIPE)")
         self.peer.inbox.extend(data)
+        self.peer.wake_waiters()
         return len(data)
 
     def readable(self) -> bool:
@@ -101,9 +125,12 @@ class StreamEndpoint(_RefCounted):
         self.closed = True
         if self.peer is not None:
             self.peer.peer_closed = True
+            # A recv blocked on the peer now returns EOF.
+            self.peer.wake_waiters()
+        self.wake_waiters()
 
 
-class UnixEndpoint(_RefCounted):
+class UnixEndpoint(_Waitable):
     """One side of a Unix-domain socketpair carrying (data, fds) messages."""
 
     kind = "unix"
@@ -120,6 +147,7 @@ class UnixEndpoint(_RefCounted):
         if self.peer is None or self.peer.closed:
             raise SimError("sendmsg on disconnected unix socket")
         self.peer.inbox.append((data, list(objects or [])))
+        self.peer.wake_waiters()
 
     def readable(self) -> bool:
         return bool(self.inbox)
@@ -139,7 +167,7 @@ class UnixEndpoint(_RefCounted):
         self.inbox.clear()
 
 
-class EpollObject(_RefCounted):
+class EpollObject(_Waitable):
     """An epoll instance: in-kernel interest set + readiness query.
 
     The interest set lives *in the kernel object*, not in program memory —
@@ -158,9 +186,21 @@ class EpollObject(_RefCounted):
 
     def add(self, fd: int, obj: Any) -> None:
         self.watched[fd] = obj
+        watchers = getattr(obj, "watchers", None)
+        if watchers is not None and self not in watchers:
+            watchers.append(self)
+        # The new entry may already be ready: re-poll our own waiters.
+        self.waitq.kick()
 
     def remove(self, fd: int) -> None:
-        self.watched.pop(fd, None)
+        obj = self.watched.pop(fd, None)
+        watchers = getattr(obj, "watchers", None)
+        if (
+            watchers is not None
+            and self in watchers
+            and obj not in self.watched.values()
+        ):
+            watchers.remove(self)
 
     def ready_fds(self) -> List[int]:
         ready: List[int] = []
@@ -222,6 +262,9 @@ class NetworkStack:
         """
         self._listeners[listener.port] = listener
         listener.closed = False
+        # Connections queued before adoption may satisfy new-version
+        # acceptors that parked before the handover completed.
+        listener.wake_waiters()
 
     def connect(self, port: int) -> StreamEndpoint:
         """Client-side connect: enqueue a server endpoint, return client's."""

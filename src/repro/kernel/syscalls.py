@@ -60,14 +60,28 @@ class Blocked:
     ``wake_ns`` is an absolute virtual-time hint: the predicate can only
     become true at/after that time (nanosleep), so the scheduler may jump
     the clock there when nothing else is runnable.
+
+    ``channels`` names the kernel objects (each owning a
+    ``process.WaitQueue``) whose state changes can make ``ready`` flip
+    true; the scheduler parks the thread on them and re-polls only when
+    one is kicked.  An empty tuple with no timeout and no ``wake_ns``
+    means the predicate is uninstrumented (select): the scheduler then
+    polls it every round, preserving the original semantics.
     """
 
-    __slots__ = ("ready", "reason", "wake_ns")
+    __slots__ = ("ready", "reason", "wake_ns", "channels")
 
-    def __init__(self, ready: Callable[[], Any], reason: str, wake_ns: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        ready: Callable[[], Any],
+        reason: str,
+        wake_ns: Optional[int] = None,
+        channels: tuple = (),
+    ) -> None:
         self.ready = ready  # returns (is_ready, value)
         self.reason = reason
         self.wake_ns = wake_ns
+        self.channels = channels
 
 
 class ExitProcess:
@@ -203,7 +217,7 @@ class SyscallTable:
         is_ready, value = ready()
         if is_ready:
             return value
-        return Blocked(ready, f"accept:{listener.port}")
+        return Blocked(ready, f"accept:{listener.port}", channels=(listener,))
 
     def sys_connect(self, thread: "Thread", port: int, reserved: bool = False) -> int:
         endpoint = self.kernel.net.connect(port)
@@ -230,7 +244,7 @@ class SyscallTable:
         is_ready, value = ready()
         if is_ready:
             return value
-        return Blocked(ready, f"recv:{endpoint.conn_id}")
+        return Blocked(ready, f"recv:{endpoint.conn_id}", channels=(endpoint,))
 
     def sys_select(self, thread: "Thread", fds: List[int]) -> Any:
         table = thread.process.fdtable
@@ -286,7 +300,7 @@ class SyscallTable:
         is_ready, value = ready()
         if is_ready:
             return value
-        return Blocked(ready, "epoll_wait")
+        return Blocked(ready, "epoll_wait", channels=(epoll,))
 
     def sys_socketpair(self, thread: "Thread", reserved: bool = False) -> Any:
         a, b = self.kernel.net.socketpair()
@@ -344,7 +358,7 @@ class SyscallTable:
         is_ready, value = ready()
         if is_ready:
             return value
-        return Blocked(ready, "recvmsg")
+        return Blocked(ready, "recvmsg", channels=(endpoint,))
 
     def sys_close(self, thread: "Thread", fd: int) -> int:
         obj = thread.process.fdtable.close(fd)
@@ -420,7 +434,7 @@ class SyscallTable:
         is_ready, value = ready()
         if is_ready:
             return value
-        return Blocked(ready, "wait_child")
+        return Blocked(ready, "wait_child", channels=(process,))
 
     def sys_thread_create(self, thread: "Thread", main: Callable, args: tuple = (), name: str = "thread") -> int:
         new_thread = self.kernel.do_thread_create(thread, main, args, name)
@@ -462,7 +476,7 @@ class SyscallTable:
                 return True, None
             return False, None
 
-        return Blocked(ready, "barrier")
+        return Blocked(ready, "barrier", channels=(barrier,))
 
     # -- memory ------------------------------------------------------------------
 

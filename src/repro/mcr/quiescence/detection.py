@@ -47,6 +47,13 @@ class QuiescenceProtocol:
         # keeps serving.  None (the default, and the whole-tree mode)
         # scopes the protocol to every process.
         self.scope: Optional[Set[Process]] = None
+        # Walk-avoidance floor for ``is_quiescent``: after a failed walk,
+        # no walk can succeed until at least one more thread arrives at
+        # the barrier (``Barrier.arrived`` is monotonic), so walks below
+        # the floor are skipped — except a 1-in-64 sample that covers
+        # stragglers exiting instead of arriving.
+        self._arrivals_floor = 0
+        self._skipped_checks = 0
 
     # -- controller side ----------------------------------------------------------
 
@@ -62,6 +69,8 @@ class QuiescenceProtocol:
         self.requested_at_ns = self.session.kernel.clock.now_ns
         self.converged_at_ns = None
         self.scope = set(scope) if scope is not None else None
+        self._arrivals_floor = 0
+        self._skipped_checks = 0
 
     def extend_scope(self, processes: Iterable[Process]) -> None:
         """Widen an in-progress scoped protocol to more processes.
@@ -79,16 +88,30 @@ class QuiescenceProtocol:
     def is_quiescent(self, root: Process) -> bool:
         # Hot path: evaluated once per kernel step while an update drives
         # the world to the barrier.  Short-circuit on the first straggler
-        # instead of materializing the whole tree's thread list.
+        # instead of materializing the whole tree's thread list, and when
+        # the protocol is scoped (rolling updates) iterate only the scoped
+        # batch — walking the whole tree per step is O(tree x steps),
+        # which is what made 1000-worker rolling updates crawl.
+        barrier = self.barrier
+        if barrier is not None and barrier.arrived < self._arrivals_floor:
+            self._skipped_checks += 1
+            if self._skipped_checks & 63:
+                return False
         any_thread = False
         scope = self.scope
-        for process in root.tree():
-            if scope is not None and process not in scope:
+        candidates = root.tree() if scope is None else scope
+        for process in candidates:
+            if process.exited:
                 continue
             for thread in process.live_threads():
                 any_thread = True
                 if not thread.at_barrier:
+                    if barrier is not None:
+                        self._arrivals_floor = barrier.arrived + 1
                     return False
+        # Converged: disable the floor so every subsequent call (the
+        # post-run re-check in ``wait``) answers deterministically.
+        self._arrivals_floor = 0
         return any_thread
 
     def wait(

@@ -15,12 +15,17 @@ of a word to a live object is delegated to the caller's ``resolve``
 callable so the same scanner serves heap chunks, region blocks, statics,
 and library areas.
 
-Two implementations coexist:
+Three implementations coexist:
 
-* ``scan_range``/``scan_words`` — the **bulk fast path**: one mapping
-  lookup per range (a zero-copy ``AddressSpace.view``), all words decoded
-  in a single ``memoryview.cast('Q')`` pass, and an optional ``bounds``
-  min/max prefilter that rejects words that cannot resolve without any
+* ``scan_range`` with a prepared ``index`` — the **v2 vectorized path**:
+  the whole window is classified at once by a ``repro.mem.scan_backend``
+  backend (numpy when installed, a pure-stdlib fallback otherwise);
+  Python-level work happens only for the surviving likely pointers.
+* ``scan_range``/``scan_words`` without an index — the **bulk fast
+  path** (PR 2): one mapping lookup per range (a zero-copy
+  ``AddressSpace.view``), all words decoded in a single
+  ``memoryview.cast('Q')`` pass, and an optional ``bounds`` min/max
+  prefilter that rejects words that cannot resolve without any
   Python-level lookup.  Falls back to the reference scanner whenever the
   range is not backed by one mapping, so fault semantics are unchanged.
 * ``scan_range_ref``/``scan_words_ref`` — the **reference per-word
@@ -90,12 +95,51 @@ def _publish(words: int, calls: int, from_ref: bool) -> None:
         counters.incr("scan.ranges_bulk", 1)
 
 
+def classify_candidates(
+    pairs: Iterable[Tuple[int, int]],
+    resolve: ResolveFn,
+    lo: int,
+    hi: int,
+) -> Tuple[List[LikelyPointer], int]:
+    """Shared likely-pointer classifier (the one bounds prefilter).
+
+    One loop serves every scalar scan kernel — the bulk range sweep, the
+    pointer-sized-integer word scan, and (conceptually) the vectorized
+    backends, which reimplement exactly this predicate as array
+    operations.  ``pairs`` yields ``(slot_address, value)``; a word is a
+    candidate iff ``lo <= value < hi`` (callers without bounds pass
+    ``(1, 2**64)``, which reproduces the historical nonzero check), and a
+    candidate survives iff ``resolve`` places it inside a live object and
+    the target's tag alignment (when tagged) accepts it.
+
+    Returns the surviving pointers and the candidate count — the number
+    of ``resolve`` calls made, which feeds ``scan.resolve_calls``.
+    """
+    found: List[LikelyPointer] = []
+    append = found.append
+    calls = 0
+    for slot, value in pairs:
+        if value < lo or value >= hi:
+            continue
+        calls += 1
+        resolved = resolve(value)
+        if resolved is None:
+            continue
+        target_base, _target_size, target_align = resolved
+        if target_align is not None and (value - target_base) % target_align != 0:
+            # Tag-assisted rejection of illegal (unaligned) candidates.
+            continue
+        append(LikelyPointer(slot, value, target_base, value != target_base))
+    return found, calls
+
+
 def scan_range(
     space: AddressSpace,
     start: int,
     size: int,
     resolve: ResolveFn,
     bounds: Bounds = None,
+    index=None,
 ) -> Tuple[List[LikelyPointer], int]:
     """Scan ``[start, start+size)`` for likely pointers (bulk fast path).
 
@@ -107,6 +151,12 @@ def scan_range(
     guaranteed to return ``None`` for any value outside ``lo <= v < hi``
     (the caller's interval index knows the min/max resolvable address);
     words outside the window skip resolution entirely.
+
+    ``index`` is an optional ``repro.mem.scan_backend.PreparedScanIndex``
+    snapshot of the same interval index: when given, the whole window is
+    classified by the vectorized backend and ``resolve`` is bypassed
+    entirely (the prepared arrays *are* the resolver).  Output and
+    accounting are byte-identical either way.
 
     Returns the likely pointers found and the number of words scanned
     (cost-model input) — both byte-identical to ``scan_range_ref``.
@@ -124,44 +174,22 @@ def scan_range(
         # or touches unmapped memory): the reference scanner reproduces
         # the original per-word fault semantics exactly.
         return scan_range_ref(space, start, size, resolve)
+    if index is not None:
+        positions, values, targets, calls = index.classify(window)
+        found = [
+            LikelyPointer(first + position * WORD_SIZE, value, target, value != target)
+            for position, value, target in zip(positions, values, targets)
+        ]
+        _publish(count, calls, from_ref=False)
+        return found, count
     words = _decode_words(window)
-    found: List[LikelyPointer] = []
-    append = found.append
-    calls = 0
-    if bounds is not None:
-        lo, hi = bounds
-        for index, value in enumerate(words):
-            if value < lo or value >= hi:
-                continue
-            calls += 1
-            resolved = resolve(value)
-            if resolved is None:
-                continue
-            target_base, _target_size, target_align = resolved
-            if target_align is not None and (value - target_base) % target_align != 0:
-                # Tag-assisted rejection of illegal (unaligned) candidates.
-                continue
-            append(
-                LikelyPointer(
-                    first + index * WORD_SIZE, value, target_base, value != target_base
-                )
-            )
-    else:
-        for index, value in enumerate(words):
-            if value == 0:
-                continue
-            calls += 1
-            resolved = resolve(value)
-            if resolved is None:
-                continue
-            target_base, _target_size, target_align = resolved
-            if target_align is not None and (value - target_base) % target_align != 0:
-                continue
-            append(
-                LikelyPointer(
-                    first + index * WORD_SIZE, value, target_base, value != target_base
-                )
-            )
+    lo, hi = bounds if bounds is not None else (1, 1 << 64)
+    found, calls = classify_candidates(
+        ((first + position * WORD_SIZE, value) for position, value in enumerate(words)),
+        resolve,
+        lo,
+        hi,
+    )
     _publish(count, calls, from_ref=False)
     return found, count
 
@@ -211,35 +239,24 @@ def scan_words(
     Bulk variant: the containing mapping is looked up once and words are
     decoded in place with ``struct.unpack_from``; slots outside it fall
     back to ``read_word`` so fault semantics match the reference scanner.
+    Classification is the shared ``classify_candidates`` predicate (the
+    zero-word skip folds into the bounds window: zero never resolves).
     """
-    found: List[LikelyPointer] = []
-    words_scanned = 0
-    calls = 0
     mapping = space.mapping_at(base)
     data = mapping.data if mapping is not None else None
     unpack_from = _struct.unpack_from
-    lo, hi = bounds if bounds is not None else (None, None)
+    pairs: List[Tuple[int, int]] = []
     for offset in offsets:
         slot = base + offset
         if data is not None and mapping.base <= slot and slot + WORD_SIZE <= mapping.end:
             value = unpack_from("<Q", data, slot - mapping.base)[0]
         else:
             value = space.read_word(slot)
-        words_scanned += 1
-        if value == 0:
-            continue
-        if lo is not None and (value < lo or value >= hi):
-            continue
-        calls += 1
-        resolved = resolve(value)
-        if resolved is None:
-            continue
-        target_base, _target_size, target_align = resolved
-        if target_align is not None and (value - target_base) % target_align != 0:
-            continue
-        found.append(LikelyPointer(slot, value, target_base, value != target_base))
-    _publish(words_scanned, calls, from_ref=False)
-    return found, words_scanned
+        pairs.append((slot, value))
+    lo, hi = bounds if bounds is not None else (1, 1 << 64)
+    found, calls = classify_candidates(pairs, resolve, max(lo, 1), hi)
+    _publish(len(pairs), calls, from_ref=False)
+    return found, len(pairs)
 
 
 def scan_words_ref(

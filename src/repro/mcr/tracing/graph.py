@@ -19,6 +19,7 @@ from repro.kernel.process import Process
 from repro.mcr.config import MCRConfig
 from repro.mcr.tracing import conservative, precise
 from repro.mcr.tracing.incremental import cache_for
+from repro.mem import scan_backend
 from repro.mem.tags import DataTag
 from repro.types.descriptors import TypeDesc
 
@@ -146,7 +147,7 @@ class _IntervalIndex:
     by the equivalence tests and the scanperf benchmark.
     """
 
-    __slots__ = ("_starts", "_ends", "_payloads")
+    __slots__ = ("_starts", "_ends", "_payloads", "_prepared")
 
     def __init__(self, process: Process) -> None:
         levels: List[List[Tuple[int, int, Tuple]]] = []
@@ -186,6 +187,7 @@ class _IntervalIndex:
         ]
         levels.append(self._level_segments(lib_items))
         self._starts, self._ends, self._payloads = self._merge(levels)
+        self._prepared: Optional[scan_backend.PreparedScanIndex] = None
 
     @staticmethod
     def _level_segments(
@@ -249,6 +251,18 @@ class _IntervalIndex:
             return (0, 0)
         return self._starts[0], self._ends[-1]
 
+    def prepared(self) -> scan_backend.PreparedScanIndex:
+        """The segment arrays snapshotted for the active vectorized backend.
+
+        Built lazily (once per index — i.e. once per traced process per
+        update) and cached: the index is immutable for its lifetime.
+        """
+        if self._prepared is None:
+            self._prepared = scan_backend.prepare(
+                self._starts, self._ends, self._payloads
+            )
+        return self._prepared
+
 
 class AddressResolver:
     """Resolve an address to the live object containing it."""
@@ -273,6 +287,12 @@ class AddressResolver:
         if self._index is None:
             return None
         return self._index.bounds()
+
+    def scan_index(self) -> Optional[scan_backend.PreparedScanIndex]:
+        """The vectorized-backend snapshot, when an index is active."""
+        if self._index is None:
+            return None
+        return self._index.prepared()
 
     def resolve(self, address: int) -> Optional[Tuple[int, int, Optional[int], Optional[DataTag]]]:
         """Return ``(base, size, align_or_None, tag_or_None)`` or ``None``."""
@@ -446,6 +466,7 @@ class GraphBuilder:
                 size,
                 self.resolver.resolve_for_scan,
                 bounds=self.resolver.scan_bounds(),
+                index=self.resolver.scan_index(),
             )
         else:
             found, scanned = conservative.scan_range_ref(

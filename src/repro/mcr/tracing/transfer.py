@@ -45,6 +45,7 @@ from repro.mcr.tracing.graph import (
 )
 from repro.mcr.tracing.handlers import TraversalContext
 from repro.mcr.tracing.invariants import apply_invariants
+from repro.mcr.tracing.spans import SpanWriter
 from repro.mcr.tracing.transform import transform_value
 from repro.mem.tags import ORIGIN_HEAP
 from repro.types import codec
@@ -464,7 +465,11 @@ class StateTransfer:
             if context.skip:
                 return
             transformed = context.transformed
-        codec.write_value(new_proc.space, new_base, new_type, transformed)
+        # Batched emission: the codec's per-leaf-field writes coalesce into
+        # contiguous spans, so one object lands in O(spans) real writes.
+        writer = SpanWriter(new_proc.space)
+        codec.write_value(writer, new_base, new_type, transformed)
+        writer.close()
         stats.bytes_copied += new_type.size
         stats.objects_transferred += 1
 

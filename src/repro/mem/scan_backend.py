@@ -1,0 +1,216 @@
+"""Vectorized likely-pointer scan backends (the v2 scan engine seam).
+
+The PR 2 bulk scanner decodes a whole mapping in one ``memoryview.cast``
+pass but still runs a Python-level loop per word: bounds check, interval
+lookup, tag-alignment check.  This module moves that classification into
+a backend that processes the *entire window at once*:
+
+* **numpy** — ``frombuffer`` the window as little-endian ``uint64``,
+  reject out-of-bounds words with one vectorized mask, bucket the
+  survivors against the interval index with ``searchsorted``, and apply
+  containment + tag-alignment rejection as array operations.  Python only
+  touches the (rare) final survivors.
+* **stdlib** — a pure-Python fallback with no third-party dependency:
+  ``memoryview.cast('Q')`` decode plus a tight ``bisect``-driven loop over
+  the same prepared arrays.  Selected automatically when numpy is not
+  installed (numpy is the optional ``fast`` extra, see ``pyproject.toml``).
+
+The backend is chosen once at import time; ``REPRO_SCAN_BACKEND=stdlib``
+(or ``numpy``) overrides the choice, which is how CI exercises the
+fallback on hosts that do have numpy.
+
+Both backends classify against a :class:`PreparedScanIndex` — a snapshot
+of the interval index's sorted segment arrays — and are equivalence-
+tested against the reference per-word scanner: identical likely-pointer
+lists, identical ``words_scanned``, and a candidate count identical to
+the PR 2 bounds-prefilter loop so ``scan.resolve_calls`` accounting is
+byte-for-byte unchanged.
+"""
+
+from __future__ import annotations
+
+import bisect as _bisect
+import os as _os
+import struct as _struct
+import sys as _sys
+from typing import List, Optional, Sequence, Tuple
+
+_NATIVE_LITTLE_ENDIAN = _sys.byteorder == "little"
+
+try:  # numpy is optional (the ``fast`` extra); the stdlib path is complete.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on bare installs
+    _np = None
+
+
+class PreparedScanIndex:
+    """Backend-ready snapshot of one interval index's segment arrays.
+
+    ``starts``/``ends`` are the sorted, disjoint resolvable segments;
+    ``bases``/``aligns`` carry each segment's payload (object base, tag
+    alignment with ``None`` mapped to 1 = accept any alignment).  The
+    numpy backend stores them as ``uint64`` arrays, the stdlib backend as
+    plain lists — ``classify`` is the only consumer either way.
+    """
+
+    __slots__ = ("backend", "lo", "hi", "starts", "ends", "bases", "aligns")
+
+    def __init__(self, backend, lo, hi, starts, ends, bases, aligns) -> None:
+        self.backend = backend
+        self.lo = lo
+        self.hi = hi
+        self.starts = starts
+        self.ends = ends
+        self.bases = bases
+        self.aligns = aligns
+
+    def classify(self, window: memoryview) -> Tuple[List[int], List[int], List[int], int]:
+        """Classify every aligned word in ``window``.
+
+        Returns ``(positions, values, target_bases, candidates)`` where
+        the first three are parallel lists describing the surviving
+        likely pointers (word index within the window, raw value, object
+        base) and ``candidates`` counts the words inside the bounds
+        window — exactly the words the scalar bounded loop would have
+        handed to ``resolve``, so resolve-call accounting is unchanged.
+        """
+        return self.backend.classify(window, self)
+
+
+class _StdlibBackend:
+    """Pure-stdlib classification: one bisect per in-bounds candidate."""
+
+    name = "stdlib"
+
+    @staticmethod
+    def prepare(starts: Sequence[int], ends: Sequence[int], payloads: Sequence[Tuple]) -> PreparedScanIndex:
+        lo = starts[0] if starts else 0
+        hi = ends[-1] if ends else 0
+        bases = [p[0] for p in payloads]
+        aligns = [p[2] if p[2] else 1 for p in payloads]
+        return PreparedScanIndex(
+            _StdlibBackend, lo, hi, list(starts), list(ends), bases, aligns
+        )
+
+    @staticmethod
+    def classify(window: memoryview, index: PreparedScanIndex):
+        if _NATIVE_LITTLE_ENDIAN:
+            words = window.cast("Q")
+        else:  # pragma: no cover - big-endian hosts
+            words = [w for (w,) in _struct.iter_unpack("<Q", window)]
+        lo, hi = index.lo, index.hi
+        starts, ends = index.starts, index.ends
+        bases, aligns = index.bases, index.aligns
+        bisect_right = _bisect.bisect_right
+        positions: List[int] = []
+        values: List[int] = []
+        targets: List[int] = []
+        candidates = 0
+        for position, value in enumerate(words):
+            if value < lo or value >= hi:
+                continue
+            candidates += 1
+            i = bisect_right(starts, value) - 1
+            if i < 0 or value >= ends[i]:
+                continue
+            base = bases[i]
+            if (value - base) % aligns[i]:
+                continue
+            positions.append(position)
+            values.append(value)
+            targets.append(base)
+        return positions, values, targets, candidates
+
+
+class _NumpyBackend:
+    """numpy classification: the whole window as one array pipeline."""
+
+    name = "numpy"
+
+    @staticmethod
+    def prepare(starts: Sequence[int], ends: Sequence[int], payloads: Sequence[Tuple]) -> PreparedScanIndex:
+        lo = starts[0] if starts else 0
+        hi = ends[-1] if ends else 0
+        return PreparedScanIndex(
+            _NumpyBackend,
+            lo,
+            hi,
+            _np.asarray(starts, dtype=_np.uint64),
+            _np.asarray(ends, dtype=_np.uint64),
+            _np.asarray([p[0] for p in payloads], dtype=_np.uint64),
+            _np.asarray([p[2] if p[2] else 1 for p in payloads], dtype=_np.uint64),
+        )
+
+    @staticmethod
+    def classify(window: memoryview, index: PreparedScanIndex):
+        words = _np.frombuffer(window, dtype="<u8")
+        in_bounds = (words >= index.lo) & (words < index.hi)
+        candidates = int(_np.count_nonzero(in_bounds))
+        if not candidates:
+            return [], [], [], 0
+        positions = _np.nonzero(in_bounds)[0]
+        values = words[positions]
+        # Predecessor-by-start segment lookup, vectorized: identical to
+        # ``bisect_right(starts, v) - 1`` plus the containment check.
+        segment = _np.searchsorted(index.starts, values, side="right") - 1
+        contained = values < index.ends[segment]
+        positions = positions[contained]
+        if not positions.size:
+            return [], [], [], candidates
+        values = values[contained]
+        segment = segment[contained]
+        bases = index.bases[segment]
+        # Tag-assisted rejection: align of 1 (untagged) accepts everything.
+        aligned = (values - bases) % index.aligns[segment] == 0
+        return (
+            positions[aligned].tolist(),
+            values[aligned].tolist(),
+            bases[aligned].tolist(),
+            candidates,
+        )
+
+
+_BACKENDS = {"stdlib": _StdlibBackend}
+if _np is not None:
+    _BACKENDS["numpy"] = _NumpyBackend
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: Optional[str] = None):
+    """The named backend class, or the active default when ``name`` is None."""
+    if name is None:
+        return ACTIVE
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scan backend {name!r} (available: {', '.join(available_backends())})"
+        ) from None
+
+
+def _select_default():
+    forced = _os.environ.get("REPRO_SCAN_BACKEND")
+    if forced:
+        if forced not in _BACKENDS:
+            raise RuntimeError(
+                f"REPRO_SCAN_BACKEND={forced!r} not available "
+                f"(available: {', '.join(available_backends())})"
+            )
+        return _BACKENDS[forced]
+    return _BACKENDS.get("numpy", _StdlibBackend)
+
+
+ACTIVE = _select_default()
+
+
+def prepare(
+    starts: Sequence[int],
+    ends: Sequence[int],
+    payloads: Sequence[Tuple],
+    backend: Optional[str] = None,
+) -> PreparedScanIndex:
+    """Snapshot interval-index arrays for the chosen (or active) backend."""
+    return get_backend(backend).prepare(starts, ends, payloads)

@@ -82,6 +82,12 @@ class FlightRecorder:
         self._ring: Deque[FlightEntry] = deque()
         self._bytes = 0
         self._ticks = 0
+        # Per-process gauge cache keyed by global id: (stamp, fds,
+        # live_bytes, live_chunks, free_bytes, dirty_faults).  Recomputed
+        # only for processes whose ``gauge_stamp`` moved since the last
+        # sample, so sampling a mostly-idle 1000-worker tree is O(ran)
+        # rather than O(total heap chunks).
+        self._gauge_cache: Dict[int, tuple] = {}
         self.recorded = 0
         self.dropped = 0
         self.samples_taken = 0
@@ -125,9 +131,37 @@ class FlightRecorder:
         self.sample(kernel)
 
     def sample(self, kernel) -> None:
-        """Record one gauge sample of the world's vital signs."""
+        """Record one gauge sample of the world's vital signs.
+
+        Per-process gauges are cached: a process that has not executed a
+        step since the previous sample (its ``gauge_stamp`` is unchanged)
+        reuses its cached tuple instead of re-walking its heap and fd
+        table.  Processes mutated outside the scheduler (MCR state
+        transfer writing into a quiesced image between runs) may lag one
+        sample; the next step they take refreshes them.
+        """
         processes = kernel.live_processes()
         self.samples_taken += 1
+        cache = self._gauge_cache
+        fds = live_bytes = live_chunks = free_bytes = dirty_faults = 0
+        for process in processes:
+            stamp = process.gauge_stamp
+            entry = cache.get(process.global_id)
+            if entry is None or entry[0] != stamp:
+                entry = (
+                    stamp,
+                    len(process.fdtable.fds()),
+                    process.heap.live_bytes(),
+                    process.heap.live_chunk_count(),
+                    process.heap._free.total_free(),
+                    process.space.soft_dirty_faults,
+                )
+                cache[process.global_id] = entry
+            fds += entry[1]
+            live_bytes += entry[2]
+            live_chunks += entry[3]
+            free_bytes += entry[4]
+            dirty_faults += entry[5]
         self.record(
             "sample",
             "gauges",
@@ -135,11 +169,11 @@ class FlightRecorder:
                 "runnable": len(kernel._run_queue),
                 "blocked": len(kernel._blocked),
                 "processes": len(processes),
-                "fds": sum(len(p.fdtable.fds()) for p in processes),
-                "heap_live_bytes": sum(p.heap.live_bytes() for p in processes),
-                "heap_live_chunks": sum(p.heap.live_chunk_count() for p in processes),
-                "heap_free_bytes": sum(p.heap._free.total_free() for p in processes),
-                "dirty_faults": sum(p.space.soft_dirty_faults for p in processes),
+                "fds": fds,
+                "heap_live_bytes": live_bytes,
+                "heap_live_chunks": live_chunks,
+                "heap_free_bytes": free_bytes,
+                "dirty_faults": dirty_faults,
             },
         )
 

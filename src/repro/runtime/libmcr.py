@@ -76,6 +76,14 @@ class MCRSession:
         self.startup_complete = False
         self.root_process: Optional[Process] = None
         self.runtimes: List["MCRRuntime"] = []
+        # Startup-completion bookkeeping: ``_qp_marked`` counts threads
+        # that reached a quiescent point at least once; the full
+        # tree-walk check is deferred until it reaches ``_qp_check_floor``
+        # (the live-thread total of the last walk), which keeps startup
+        # tracking O(threads) instead of O(threads^2) for large trees.
+        self._qp_marked = 0
+        self._qp_check_floor = 0
+        self._qp_repeat_notes = 0
         # Restart-side machinery, installed by the controller.
         self.replay_engine: Any = None
         self.stash: Any = None
@@ -103,13 +111,28 @@ class MCRSession:
     def note_qp_reached(self, thread: Thread) -> None:
         if self.startup_complete:
             return
-        thread.reached_qp = True
+        if not thread.reached_qp:
+            thread.reached_qp = True
+            self._qp_marked += 1
+            if self._qp_marked < self._qp_check_floor:
+                return
+        else:
+            # Re-visits can only complete startup when a not-yet-reached
+            # thread exited meanwhile; sample them rather than re-walking
+            # the whole tree on every loop iteration.
+            self._qp_repeat_notes += 1
+            if self._qp_repeat_notes & 63:
+                return
         root = self.root_process
         if root is None:
             return
         live = tree_live_threads(root)
         if live and all(t.reached_qp for t in live):
             self.finish_startup()
+            return
+        # Not there yet: no walk can succeed before every currently-live
+        # thread has flipped, so defer the next one until then.
+        self._qp_check_floor = len(live)
 
     def finish_startup(self) -> None:
         """Startup over: run deferred frees, start dirty tracking.

@@ -25,7 +25,7 @@ Protocol: ``GET <path>`` (keep-alive) and ``SCORE`` (scoreboard dump).
 from __future__ import annotations
 
 import struct as _struct
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import SimError
 from repro.kernel.process import sim_function
@@ -86,7 +86,12 @@ def make_globals(types: Dict[str, object]) -> list:
     ]
 
 
-def _make_main(version: int, types: Dict[str, object], mcr_prepared: bool):
+def _make_main(
+    version: int,
+    types: Dict[str, object],
+    mcr_prepared: bool,
+    server_processes: int = SERVER_PROCESSES,
+):
     scoreboard_t = types["scoreboard_t"]
     httpd_stats_t = types["httpd_stats_t"]
     bucket_t = types["bucket_t"]
@@ -255,7 +260,11 @@ def _make_main(version: int, types: Dict[str, object], mcr_prepared: bool):
     @sim_function
     def httpd_server_process(sys, listen_fd, proc_index):
         crt = sys.process.crt
-        slot = crt.global_addr("httpd_scoreboard") + proc_index * scoreboard_t.size
+        # Scoreboard slots are a fixed global array; scaled-up prefork
+        # pools (bench scaling curves) share them round-robin.  Identity
+        # for the default configuration (server_processes <= slots).
+        slot_index = proc_index % SCOREBOARD_SLOTS
+        slot = crt.global_addr("httpd_scoreboard") + slot_index * scoreboard_t.size
         pid = yield from sys.getpid()
         crt.set(slot, scoreboard_t, "pid", pid)
         crt.set(slot, scoreboard_t, "state", 1)
@@ -278,7 +287,7 @@ def _make_main(version: int, types: Dict[str, object], mcr_prepared: bool):
         for index in range(WORKER_THREADS):
             yield from sys.thread_create(
                 httpd_worker_main,
-                args=(job_rx, done_tx, conns, pools, proc_pool, proc_index),
+                args=(job_rx, done_tx, conns, pools, proc_pool, slot_index),
                 name=f"worker-{index}",
             )
         yield from httpd_listener_loop(
@@ -314,7 +323,7 @@ def _make_main(version: int, types: Dict[str, object], mcr_prepared: bool):
         yield from sys.bind(listen_fd, port)
         yield from sys.listen(listen_fd, 512)
         crt.gset("httpd_listen_fd", listen_fd)
-        for index in range(SERVER_PROCESSES):
+        for index in range(server_processes):
             yield from sys.fork(
                 httpd_server_process, args=(listen_fd, index), name=f"httpd-server-{index}"
             )
@@ -323,9 +332,23 @@ def _make_main(version: int, types: Dict[str, object], mcr_prepared: bool):
     return httpd_main, httpd_janitor_main
 
 
-def make_program(version: int = 1, mcr_prepared: bool = True) -> Program:
+def make_program(
+    version: int = 1,
+    mcr_prepared: bool = True,
+    server_processes: Optional[int] = None,
+) -> Program:
+    """Build the httpd program.
+
+    ``server_processes`` overrides the prefork pool size (default
+    ``SERVER_PROCESSES``); the bench scaling curves use it to stand up
+    hundreds-of-workers trees on the stock program.
+    """
     types = make_types(version)
-    main, janitor_main = _make_main(version, types, mcr_prepared)
+    if server_processes is None:
+        server_processes = SERVER_PROCESSES
+    main, janitor_main = _make_main(
+        version, types, mcr_prepared, server_processes=server_processes
+    )
     program = Program(
         name="httpd",
         version=str(version),

@@ -8,7 +8,7 @@ import pytest
 
 import repro
 from repro.kernel import Kernel, sim_function
-from repro.kernel.fdtable import FDTable, RESERVED_BASE, STASH_BASE
+from repro.kernel.fdtable import FDTable, FD_MAX, RESERVED_BASE, STASH_BASE
 from repro.mcr.reinit.callstack import sanitize_result
 from repro.mcr.reinit.startup_log import StartupLog, SyscallRecord
 from repro.mem.address_space import AddressSpace
@@ -56,8 +56,11 @@ class TestStashRangeRegression:
         table = FDTable()
         reserved = table.install_reserved(object())
         stash = table.install_stash(object())
-        assert reserved >= RESERVED_BASE
-        assert STASH_BASE <= stash < RESERVED_BASE
+        assert RESERVED_BASE <= reserved < FD_MAX
+        assert stash >= STASH_BASE
+        # The stash now sits *above* the reserved range (wide enough for
+        # 1000-worker trees); disjointness is what matters.
+        assert STASH_BASE >= FD_MAX
 
 
 class TestSocketpairSanitizationRegression:
