@@ -40,7 +40,7 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.process import sim_function
 from repro.mcr.config import MCRConfig
 from repro.mcr.ctl import McrCtl
-from repro.mcr.faults import FaultPlan, SITES
+from repro.mcr.faults import CHECKPOINT_SITES, FaultPlan, UPDATE_SITES
 from repro.runtime.instrument import BuildConfig
 from repro.runtime.libmcr import MCRSession
 from repro.runtime.program import load_program
@@ -277,6 +277,95 @@ def run_cell(
     return cell
 
 
+# Checkpoint-plane sites that leave the primary serving when they fire;
+# the rest degrade the standby and are drilled with a crash.
+_PRIMARY_CONTINUE_SITES = (
+    "checkpoint.capture",
+    "checkpoint.write",
+    "checkpoint.delta",
+)
+
+
+def run_failover_cell(
+    server: str,
+    site: Optional[str],
+    blackbox_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """One failover drill: arm ``site`` (None = clean crash), never raise.
+
+    The convergence contract mirrors the update grid's survive/intact
+    pair: every cell must end with the standby recovered XOR the primary
+    continuing cleanly, zero unhandled exceptions either way.
+    """
+    from repro.fleet.failover import FailoverDrill
+
+    sites = () if site is None else tuple(site.split("+"))
+    crash = site is None or any(s not in _PRIMARY_CONTINUE_SITES for s in sites)
+    plan = None
+    if sites:
+        plan = FaultPlan()
+        for armed in sites:
+            plan.at(armed)
+    config = MCRConfig(
+        faults=plan,
+        checkpoint_interval_ns=25_000_000,
+        blackbox_path=blackbox_path,
+    )
+    cell: Dict[str, object] = {
+        "server": server,
+        "site": site or "clean-crash",
+        "crash": crash,
+        "armed": list(sites),
+        "raised": False,
+    }
+    try:
+        data = FailoverDrill(server, config=config, crash=crash).run().to_dict()
+    except BaseException as error:  # the drill's contract says never
+        cell["raised"] = True
+        cell["error"] = repr(error)
+        cell["converged"] = False
+        return cell
+    recovered = bool(data["promoted"] or data["cold_restored"])
+    cell.update(
+        fired=bool(plan.injected) if plan is not None else False,
+        fired_sites=data["fired_sites"],
+        promoted=data["promoted"],
+        cold_restored=data["cold_restored"],
+        primary_survived=data["primary_survived"],
+        recovered_on_standby=recovered,
+        standby_stale=data["standby_stale"],
+        stale_lag=data["stale_lag"],
+        requests_lost=data["requests_lost"],
+        rto_ms=data["rto_ms"],
+        served_after=data["served_after"],
+        error=data["error"],
+        blackbox=data["blackbox"] is not None,
+        # Exactly one recovery story per cell, and it served afterwards.
+        converged=(
+            data["error"] is None
+            and data["served_after"]
+            and recovered != data["primary_survived"]
+        ),
+    )
+    return cell
+
+
+def run_failover_cells(
+    server: str,
+    blackbox_path: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The failover grid: clean crash + every checkpoint site + double fault."""
+    cells = [run_failover_cell(server, None, blackbox_path=blackbox_path)]
+    for site in CHECKPOINT_SITES:
+        cells.append(run_failover_cell(server, site, blackbox_path=blackbox_path))
+    cells.append(
+        run_failover_cell(
+            server, "checkpoint.write+standby.promote", blackbox_path=blackbox_path
+        )
+    )
+    return cells
+
+
 def run_faultmatrix(
     servers: Optional[Sequence[str]] = None,
     smoke: bool = False,
@@ -284,8 +373,11 @@ def run_faultmatrix(
 ) -> Dict[str, object]:
     names = tuple(servers) if servers else (SMOKE_SERVERS if smoke else FULL_SERVERS)
     cells: List[Dict[str, object]] = []
+    # The update grid covers the live-update pipeline sites only; the
+    # checkpoint/standby sites never fire during an update (they belong
+    # to the failover drills below).
     for server in names:
-        for site in SITES:
+        for site in UPDATE_SITES:
             cells.append(run_cell(server, site, blackbox_path=blackbox_path))
     # The rolling rows: the same safety property must hold when the update
     # hands workers off one batch at a time — each fault still ends in
@@ -293,10 +385,22 @@ def run_faultmatrix(
     # batch-by-batch against the scoped fingerprints.
     rolling_names = ROLLING_SMOKE_SERVERS if smoke else ROLLING_FULL_SERVERS
     for server in rolling_names:
-        for site in SITES:
+        for site in UPDATE_SITES:
             cells.append(
                 run_cell(server, site, blackbox_path=blackbox_path, mode="rolling")
             )
+    # The failover grid: one crash drill per checkpoint-plane site (plus
+    # the clean-crash and torn-image double-fault rows), each required to
+    # converge on exactly one of {standby recovered, primary continued}.
+    # Failed restores/promotions dump their own post-mortem file so the
+    # update grid's blackbox.json (asserted by CI to name the last
+    # update-cell fault) is never clobbered.
+    failover_blackbox = (
+        blackbox_path.replace(".json", "_failover.json")
+        if blackbox_path
+        else None
+    )
+    failover_cells = run_failover_cells(names[0], blackbox_path=failover_blackbox)
     # Every rolled-back cell must have produced a black box whose last
     # injected fault matches the site the cell armed and fired.
     rolled_back = [c for c in cells if c["rolled_back"]]
@@ -304,9 +408,13 @@ def run_faultmatrix(
     return {
         "servers": list(names),
         "rolling_servers": list(rolling_names),
-        "sites": list(SITES),
+        "sites": list(UPDATE_SITES),
+        "failover_sites": list(CHECKPOINT_SITES),
         "smoke": smoke,
         "cells": cells,
+        "failover_cells": failover_cells,
+        "failover_all_converged": all(c["converged"] for c in failover_cells),
+        "failover_any_raised": any(c["raised"] for c in failover_cells),
         "cells_total": len(cells),
         "cells_fired": sum(1 for c in cells if c["fired"]),
         "rolling_cells": len(rolling_cells),
@@ -352,18 +460,54 @@ def render(results: Dict[str, object]) -> str:
         f"any_raised={results['any_raised']}, "
         f"all_blackbox_match={results.get('all_blackbox_match')}"
     )
-    return "\n".join(
+    failover_rows = [
         [
-            render_table(
-                "Fault matrix: injected failure sites x servers",
-                ["server", "mode", "site", "fired", "outcome", "verified", "survived", "intact"],
-                rows,
-                note=(
-                    "outcome commit! = fault fired past the point of no return and "
-                    "was contained (roll-forward); verified = old-tree fingerprint "
-                    "matched its checkpoint after rollback"
-                ),
+            cell["server"],
+            cell["site"],
+            fmt_cell(cell["crash"]),
+            fmt_cell(cell.get("fired")),
+            (
+                "cold-restore"
+                if cell.get("cold_restored")
+                else "standby"
+                if cell.get("promoted")
+                else "primary"
+                if cell.get("primary_survived")
+                else "RAISED"
             ),
-            summary,
+            fmt_cell(cell.get("standby_stale")),
+            cell.get("requests_lost"),
+            fmt_cell(cell.get("converged")),
         ]
-    )
+        for cell in results.get("failover_cells", [])
+    ]
+    parts = [
+        render_table(
+            "Fault matrix: injected failure sites x servers",
+            ["server", "mode", "site", "fired", "outcome", "verified", "survived", "intact"],
+            rows,
+            note=(
+                "outcome commit! = fault fired past the point of no return and "
+                "was contained (roll-forward); verified = old-tree fingerprint "
+                "matched its checkpoint after rollback"
+            ),
+        ),
+        summary,
+    ]
+    if failover_rows:
+        parts.extend(
+            [
+                "",
+                render_table(
+                    "Failover drills: checkpoint-plane sites x crash recovery",
+                    ["server", "site", "crash", "fired", "recovery", "stale",
+                     "lost", "converged"],
+                    failover_rows,
+                    note=(
+                        f"failover_all_converged="
+                        f"{fmt_cell(results.get('failover_all_converged'))}"
+                    ),
+                ),
+            ]
+        )
+    return "\n".join(parts)

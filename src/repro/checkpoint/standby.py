@@ -1,0 +1,245 @@
+"""Warm standby: a restored, barrier-parked twin fed by the delta stream.
+
+``WarmStandby`` wraps a node produced by ``restore_image`` and keeps it
+continuously up to date: each ``DeltaCheckpoint`` arriving over the
+(simulated) ``StandbyChannel`` is decoded, sequence-checked, and grafted
+into the still-quiesced tree.  Failover is ``promote()``: verify the
+standby's live ``TreeFingerprint`` against the last applied checkpoint's
+expected fingerprint, release the barrier, start serving.
+
+Staleness semantics (CheckSync-style bounded divergence): a corrupt,
+dropped, or out-of-order delta marks the standby *stale* — it keeps its
+last consistent state and ignores further deltas until ``apply_full``
+resyncs it from the next full image.  A stale standby can still be
+promoted (it serves the last consistent checkpoint; the failover driver
+reports how many sequences of work that loses), but a standby whose
+fingerprint does not match its expectation can never be — that is a
+``PromotionError`` plus a black-box dump stamped with the image id and
+last-applied delta sequence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.errors import PromotionError
+from repro.fleet.node import Node
+from repro.mcr.config import MCRConfig
+from repro.mcr.faults import TreeFingerprint, fire
+from repro.checkpoint.delta import DeltaCheckpoint
+from repro.checkpoint.image import CheckpointImage
+from repro.checkpoint.restore import _graft_heap, restore_image, resume_node
+
+# Virtual-time costs of the replication channel (ns).
+STREAM_BYTE_NS = 2        # serialize + ship one byte primary -> standby
+APPLY_BYTE_NS = 1         # graft one received byte into the standby
+PROMOTE_BASE_NS = 3_000_000  # barrier release + VIP flip on promotion
+
+
+class StandbyChannel:
+    """The simulated replication link: an ordered queue of encoded deltas.
+
+    ``send`` fires the ``stream.send`` fault site — an injected death
+    drops the delta on the floor (the bytes never reach the standby),
+    which is exactly the gap ``WarmStandby.apply`` then detects.
+    """
+
+    def __init__(self) -> None:
+        self.queue: List[bytes] = []
+        self.sent = 0
+        self.dropped = 0
+        self.bytes_sent = 0
+
+    def send(self, delta: DeltaCheckpoint, config: Optional[MCRConfig] = None) -> int:
+        blob = delta.encode()
+        try:
+            fire(config, "stream.send")
+        except BaseException:
+            self.dropped += 1
+            raise
+        self.queue.append(blob)
+        self.sent += 1
+        self.bytes_sent += len(blob)
+        obs.incr("checkpoint.stream_bytes", len(blob))
+        return len(blob) * STREAM_BYTE_NS
+
+    def drain(self) -> List[bytes]:
+        blobs, self.queue = self.queue, []
+        return blobs
+
+
+class WarmStandby:
+    """A quiesced twin of the primary, promotable on failure."""
+
+    def __init__(
+        self,
+        node: Node,
+        image: CheckpointImage,
+        config: Optional[MCRConfig] = None,
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.image_id = image.image_id
+        self.applied_seq = 0
+        self.stale = False
+        self.promoted = False
+        self.deltas_applied = 0
+        self.deltas_rejected = 0
+        # What the standby's tree must fingerprint as right now.
+        self.expected_fingerprint = image.fingerprint
+        self.last_blackbox: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_image(
+        cls,
+        image: CheckpointImage,
+        node_id: int = 1,
+        config: Optional[MCRConfig] = None,
+    ) -> "WarmStandby":
+        node = restore_image(image, node_id=node_id, config=config)
+        return cls(node, image, config=config)
+
+    # -- the continuously-applied stream --------------------------------------
+
+    def apply(self, blob: bytes) -> bool:
+        """Graft one encoded delta; returns True when applied cleanly.
+
+        Any damage or discontinuity marks the standby stale instead of
+        raising: the replication path must never take the standby down,
+        only bound how fresh it is.
+        """
+        if self.stale:
+            self.deltas_rejected += 1
+            return False
+        try:
+            fire(self.config, "stream.apply")
+            delta = DeltaCheckpoint.decode(blob)
+        except Exception as error:  # ImageError, injected faults, ...
+            self.deltas_rejected += 1
+            self.stale = True
+            obs.emit(
+                "standby.delta_rejected",
+                severity="warn",
+                error=repr(error),
+                applied_seq=self.applied_seq,
+            )
+            return False
+        if delta.base_image_id != self.image_id or delta.seq != self.applied_seq + 1:
+            self.deltas_rejected += 1
+            self.stale = True
+            obs.emit(
+                "standby.sequence_gap",
+                severity="warn",
+                got_seq=delta.seq,
+                want_seq=self.applied_seq + 1,
+            )
+            return False
+        self._graft_delta(delta)
+        self.applied_seq = delta.seq
+        self.expected_fingerprint = delta.fingerprint
+        self.deltas_applied += 1
+        self.node.kernel.clock.advance(delta.total_bytes() * APPLY_BYTE_NS)
+        obs.incr("checkpoint.deltas_applied")
+        return True
+
+    def _graft_delta(self, delta: DeltaCheckpoint) -> None:
+        processes = {p.pid: p for p in self.node.root.tree()}
+        blob = delta.pages_blob
+        for page in delta.meta["pages"]:
+            process = processes[page["pid"]]
+            mapping = process.space.mapping_at(page["mapping_base"])
+            start = page["address"] - mapping.base
+            mapping.data[start:start + page["length"]] = (
+                blob[page["offset"]:page["offset"] + page["length"]]
+            )
+        for pid_text, record in delta.meta["records"].items():
+            process = processes[int(pid_text)]
+            _graft_heap(process.heap, record["heap"])
+            fdtable = process.fdtable
+            for fd, _kind, closed, _ref in record["fds"]:
+                obj = fdtable.try_get(fd)
+                if obj is not None and hasattr(obj, "closed"):
+                    obj.closed = bool(closed)
+            alloc = record["fd_alloc"]
+            fdtable._next_reserved = alloc["next_reserved"]
+            fdtable._next_stash = alloc["next_stash"]
+            fdtable._blocked_numbers = set(alloc["blocked"])
+        listeners = delta.meta.get("listeners")
+        if listeners:
+            net = self.node.kernel.net
+            for port, _sock_id, closed, backlog in listeners:
+                listener = net._listeners.get(port)
+                if listener is not None:
+                    listener.backlog = backlog
+                    listener.closed = bool(closed)
+
+    def resync(self, image: CheckpointImage, node_id: Optional[int] = None) -> None:
+        """Replace the standby's tree from a fresh full image (stale exit)."""
+        node_id = self.node.node_id if node_id is None else node_id
+        self.node.teardown()
+        self.node = restore_image(image, node_id=node_id, config=self.config)
+        self.image_id = image.image_id
+        self.applied_seq = 0
+        self.stale = False
+        self.expected_fingerprint = image.fingerprint
+        obs.emit("standby.resynced", image_id=image.image_id)
+
+    # -- failover --------------------------------------------------------------
+
+    def promote(self) -> Node:
+        """Verify integrity, release the barrier, and start serving.
+
+        The verification is the restore-side half of the round-trip
+        property: the standby's live tree must fingerprint byte-identical
+        to the last checkpoint it applied.  A mismatch dumps the flight
+        recorder (stamped with image id + delta seq) and raises
+        ``PromotionError`` — the failover driver then falls back to a
+        cold restore from the last durable image.
+        """
+        problems: List[str] = []
+        with self.node.scope():
+            try:
+                fire(self.config, "standby.promote")
+                live = self.node.fingerprint()
+                problems = self.expected_fingerprint.diff(live)
+                if problems:
+                    raise PromotionError(
+                        f"standby diverged from checkpoint seq {self.applied_seq}: "
+                        + "; ".join(problems[:4])
+                    )
+            except BaseException as error:
+                self._dump_blackbox(
+                    "standby.promote_failed", problems or [repr(error)]
+                )
+                raise
+        self.node.kernel.clock.advance(PROMOTE_BASE_NS)
+        resume_node(self.node)
+        self.promoted = True
+        obs.incr("checkpoint.promotions")
+        obs.emit(
+            "standby.promoted",
+            image_id=self.image_id,
+            applied_seq=self.applied_seq,
+            stale=self.stale,
+        )
+        return self.node
+
+    def _dump_blackbox(self, reason: str, problems: List[str]) -> None:
+        collector = self.node.collector
+        self.last_blackbox = collector.recorder.dump(
+            reason,
+            failure_site="standby.promote",
+            fingerprint=self.expected_fingerprint.summary(),
+            image_version=self.image_id,
+            last_applied_delta_seq=self.applied_seq,
+            problems=problems[:16],
+        )
+        path = getattr(self.config, "blackbox_path", None)
+        if path:
+            try:
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(self.last_blackbox, handle, indent=2, sort_keys=True)
+            except OSError:  # the dump must never make a failover worse
+                pass

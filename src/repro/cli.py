@@ -203,6 +203,13 @@ def _bench_fleetroll(smoke: bool = False):
     return results, render(results)
 
 
+def _bench_failover(smoke: bool = False):
+    from repro.bench.failover import render, run_failover
+
+    results = run_failover(smoke=smoke)
+    return results, render(results)
+
+
 def _bench_faultmatrix(smoke: bool = False):
     from repro.bench.faultmatrix import render, run_faultmatrix
 
@@ -226,13 +233,14 @@ BENCH_EXPERIMENTS = {
     "scanperf": _bench_scanperf,
     "faultmatrix": _bench_faultmatrix,
     "fleetroll": _bench_fleetroll,
+    "failover": _bench_failover,
 }
 
 
 def cmd_bench(args) -> int:
     names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        if name in ("faultmatrix", "updatetime", "fleetroll", "scanperf"):
+        if name in ("faultmatrix", "updatetime", "fleetroll", "scanperf", "failover"):
             results, text = BENCH_EXPERIMENTS[name](
                 smoke=getattr(args, "smoke", False)
             )
@@ -382,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["table1", "table2", "table3", "figure3", "spec",
                  "memusage", "updatetime", "ablations", "scanperf",
-                 "faultmatrix", "fleetroll", "all"],
+                 "faultmatrix", "fleetroll", "failover", "all"],
     )
     bench.add_argument(
         "--json",
@@ -392,7 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="faultmatrix/updatetime/fleetroll/scanperf: run the reduced CI subset",
+        help="faultmatrix/updatetime/fleetroll/scanperf/failover: run the reduced CI subset",
     )
     bench.set_defaults(fn=cmd_bench)
 

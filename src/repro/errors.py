@@ -99,5 +99,28 @@ class StateTransferError(MCRError):
     """Mutable tracing failed for a reason other than a flagged conflict."""
 
 
+class ImageError(MCRError):
+    """A checkpoint image cannot be trusted: malformed, corrupt, or
+    structurally incompatible with the tree it would restore into.
+
+    ``section`` names the failing part of the image (``"magic"``,
+    ``"version"``, ``"meta"``, a binary section name, or a structural
+    surface like ``"process-tree"``/``"fds"``) so operators know exactly
+    what was damaged.  Raised *before* any restore-side mutation — a bad
+    image never produces a partial restore.
+    """
+
+    def __init__(self, section: str, detail: str = "") -> None:
+        self.section = section
+        message = f"checkpoint image invalid in section {section!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class PromotionError(MCRError):
+    """A warm standby could not be promoted to primary (failover path)."""
+
+
 class ProfilerError(Exception):
     """Quiescence profiling could not produce a usable report."""

@@ -20,7 +20,23 @@ from repro.fleet.orchestrator import (
     wave_plan,
 )
 
+# The failover driver sits atop repro.checkpoint, which itself boots
+# fleet Nodes — import it lazily so ``import repro.checkpoint`` does not
+# re-enter this package mid-initialisation.
+_FAILOVER_EXPORTS = ("FailoverDrill", "FailoverResult", "run_failover_drill")
+
+
+def __getattr__(name: str):
+    if name in _FAILOVER_EXPORTS:
+        from repro.fleet import failover
+
+        return getattr(failover, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "FailoverDrill",
+    "FailoverResult",
     "Fleet",
     "LoadBalancer",
     "Node",

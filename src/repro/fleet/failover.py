@@ -1,0 +1,400 @@
+"""Crash-failover drills: primary + warm standby under fault injection.
+
+The robustness counterpart of the rollout orchestrator: instead of a
+*planned* live update, the ``FailoverDrill`` kills the primary outright
+(``Kernel.crash_tree`` — no fd release, no port cleanup, mid-window)
+and measures what clients actually experience while the load balancer
+fails over to a warm standby kept fresh by the incremental checkpoint
+stream of ``repro.checkpoint``:
+
+* **RTO** — crash time to the first request completed by the standby;
+* **requests lost** — end-to-end, with the in-flight requests that died
+  with the primary re-issued against the promoted standby (the retry a
+  real client library performs against the VIP);
+* **staleness** — how many delta sequences the standby was behind when
+  promoted (CheckSync-style bounded divergence under stream faults).
+
+Every checkpoint-plane fault site can be armed mid-drill.  Checkpoint-
+side faults (``checkpoint.capture``/``write``/``delta``) never disturb
+serving — the drill swallows them and the primary continues cleanly;
+stream/restore/promote faults degrade the standby instead, and the
+drill still converges by promoting the stale standby or cold-restoring
+from the last good durable image.  ``run`` never raises: the outcome is
+always a ``FailoverResult``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.checkpoint import (
+    DeltaBaseline,
+    StandbyChannel,
+    WarmStandby,
+    capture_delta,
+    checkpoint_node,
+    read_image,
+    restore_image,
+    resume_node,
+    write_image,
+)
+from repro.fleet.lb import LoadBalancer
+from repro.fleet.node import Node
+from repro.mcr.config import MCRConfig
+from repro.servers.common import ClientLatencyLog, ClientPerceived
+
+# Failure-detection delay: the lease/heartbeat timeout before the fleet
+# declares the primary dead and starts promotion (virtual ns).
+DETECT_NS = 5_000_000
+
+PRIMARY_ID = 0
+STANDBY_ID = 1
+COLD_ID = 2
+
+
+class FailoverResult:
+    """Everything one drill measured, JSON-ready via ``to_dict``."""
+
+    def __init__(self, server: str) -> None:
+        self.server = server
+        self.crashed = False
+        self.promoted = False
+        self.cold_restored = False
+        self.primary_survived = False
+        self.served_after = False
+        self.requests_sent = 0
+        self.requests_completed = 0
+        self.requests_lost = 0
+        self.reissued = 0
+        self.rto_ns: Optional[int] = None
+        self.image_bytes = 0
+        self.delta_bytes = 0
+        self.deltas_sent = 0
+        self.checkpoint_failures = 0
+        self.standby_stale = False
+        self.stale_lag = 0          # source seq - applied seq at promotion
+        self.fired_sites: List[str] = []
+        self.perceived: Optional[Dict[str, Any]] = None
+        self.blackbox: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "server": self.server,
+            "crashed": self.crashed,
+            "promoted": self.promoted,
+            "cold_restored": self.cold_restored,
+            "primary_survived": self.primary_survived,
+            "served_after": self.served_after,
+            "requests_sent": self.requests_sent,
+            "requests_completed": self.requests_completed,
+            "requests_lost": self.requests_lost,
+            "reissued": self.reissued,
+            "rto_ms": None if self.rto_ns is None else self.rto_ns / 1e6,
+            "image_kb": self.image_bytes // 1024,
+            "delta_bytes": self.delta_bytes,
+            "deltas_sent": self.deltas_sent,
+            "checkpoint_failures": self.checkpoint_failures,
+            "standby_stale": self.standby_stale,
+            "stale_lag": self.stale_lag,
+            "fired_sites": list(self.fired_sites),
+            "perceived": self.perceived,
+            "blackbox": self.blackbox,
+            "error": self.error,
+        }
+
+
+class FailoverDrill:
+    """One primary/standby pair driven through windows, cadence, and a crash."""
+
+    def __init__(
+        self,
+        server: str = "simple",
+        config: Optional[MCRConfig] = None,
+        windows: int = 10,
+        window_ns: int = 20_000_000,
+        requests_per_window: int = 6,
+        crash: bool = True,
+        crash_window: Optional[int] = None,
+        detect_ns: int = DETECT_NS,
+        checkpoint_path: Optional[str] = None,
+    ) -> None:
+        self.server = server
+        self.config = config or MCRConfig()
+        self.windows = windows
+        self.window_ns = window_ns
+        self.requests_per_window = requests_per_window
+        self.crash = crash
+        self.crash_window = (
+            crash_window if crash_window is not None else max(1, windows // 2)
+        )
+        self.detect_ns = detect_ns
+        self.checkpoint_path = checkpoint_path or self.config.checkpoint_path
+        self._owns_path = False
+        # Drill state.
+        self.primary: Optional[Node] = None
+        self.standby: Optional[WarmStandby] = None
+        self.channel = StandbyChannel()
+        self.baseline: Optional[DeltaBaseline] = None
+        self.last_image = None
+        self.durable_ok = False
+        self.source_seq = 0
+
+    # -- checkpoint plumbing (fault-tolerant: failures never stop serving) -----
+
+    def _fired(self, result: FailoverResult, error: Exception) -> None:
+        site = getattr(error, "fault_site", None)
+        result.fired_sites.append(site or type(error).__name__)
+
+    def _cut_full(self, result: FailoverResult) -> bool:
+        """Cut + durably write a full image, (re)seed baseline and standby."""
+        try:
+            image = checkpoint_node(self.primary, self.config)
+        except Exception as error:
+            result.checkpoint_failures += 1
+            self._fired(result, error)
+            return False
+        self.last_image = image
+        result.image_bytes = image.total_bytes()
+        self.baseline = DeltaBaseline(image)
+        self.source_seq = 0
+        self._write_durable(result)
+        return True
+
+    def _write_durable(self, result: FailoverResult) -> None:
+        if not self.checkpoint_path or self.last_image is None:
+            return
+        try:
+            write_image(self.last_image, self.checkpoint_path, self.config)
+            self.durable_ok = True
+        except Exception as error:
+            result.checkpoint_failures += 1
+            self._fired(result, error)
+
+    def _boot_standby(self, result: FailoverResult) -> None:
+        if self.last_image is None:
+            return
+        for _attempt in (1, 2):  # a failed restore is retried once
+            try:
+                self.standby = WarmStandby.from_image(
+                    self.last_image, node_id=STANDBY_ID, config=self.config
+                )
+                return
+            except Exception as error:
+                self._fired(result, error)
+
+    def _cadence_tick(self, result: FailoverResult) -> None:
+        """Cut the next delta and stream it (or repair whatever failed)."""
+        if self.last_image is None:
+            self._cut_full(result) and self._boot_standby(result)
+            return
+        if not self.durable_ok and self.checkpoint_path:
+            self._write_durable(result)  # retry a torn image write
+        if self.standby is None:
+            self._boot_standby(result)
+        try:
+            delta = capture_delta(self.primary, self.baseline, self.config)
+        except Exception as error:
+            result.checkpoint_failures += 1
+            self._fired(result, error)
+            return
+        if delta is None:
+            # Tree shape changed: resync standby from a fresh full image.
+            if self._cut_full(result) and self.standby is not None:
+                self.standby.resync(self.last_image)
+            return
+        self.source_seq = delta.seq
+        result.deltas_sent += 1
+        result.delta_bytes += delta.total_bytes()
+        try:
+            self.channel.send(delta, self.config)
+        except Exception as error:
+            self._fired(result, error)
+            return  # dropped on the floor -> the standby will see a gap
+        if self.standby is not None:
+            for blob in self.channel.drain():
+                self.standby.apply(blob)
+
+    # -- the crash + failover --------------------------------------------------
+
+    def _failover(self, result: FailoverResult) -> Optional[Node]:
+        """Kill the primary, promote (or cold-restore); returns the new server."""
+        primary = self.primary
+        crash_ns = primary.now_ns
+        result.crashed = True
+        pending = primary.pending()
+        with primary.scope():
+            primary.kernel.crash_tree(primary.root)
+        obs.emit("failover.crash", severity="warn", at_ns=crash_ns)
+        serving: Optional[Node] = None
+        if self.standby is not None:
+            self._sync_clock(self.standby.node, crash_ns + self.detect_ns)
+            result.standby_stale = self.standby.stale
+            result.stale_lag = self.source_seq - self.standby.applied_seq
+            try:
+                serving = self.standby.promote()
+                result.promoted = True
+            except Exception as error:
+                self._fired(result, error)
+                result.blackbox = self.standby.last_blackbox
+        if serving is None:
+            serving = self._cold_restore(result, crash_ns)
+        if serving is None:
+            return None
+        result.reissued = pending
+        serving.serve(pending)
+        return serving
+
+    def _cold_restore(self, result: FailoverResult, crash_ns: int) -> Optional[Node]:
+        """Last resort: restore from the last good durable (or in-memory) image."""
+        image = None
+        if self.durable_ok and self.checkpoint_path:
+            try:
+                image = read_image(self.checkpoint_path)
+            except Exception as error:
+                self._fired(result, error)
+        if image is None:
+            image = self.last_image
+        if image is None:
+            result.error = "no image to restore from"
+            return None
+        try:
+            node = restore_image(image, node_id=COLD_ID, config=self.config)
+        except Exception as error:
+            self._fired(result, error)
+            result.error = f"cold restore failed: {error}"
+            return None
+        # Cold restore pays the full image read + graft, not a warm promote.
+        self._sync_clock(node, crash_ns + self.detect_ns)
+        node.kernel.clock.advance(image.total_bytes())  # ~1 ns/byte rehydrate
+        resume_node(node)
+        result.cold_restored = True
+        obs.emit("failover.cold_restore", image_id=image.image_id)
+        return node
+
+    @staticmethod
+    def _sync_clock(node: Node, to_ns: int) -> None:
+        """Lockstep a quiesced node's clock with the fleet deadline."""
+        delta = to_ns - node.now_ns
+        if delta > 0:
+            node.kernel.clock.advance(delta)
+
+    # -- the drill -------------------------------------------------------------
+
+    def run(self) -> FailoverResult:
+        result = FailoverResult(self.server)
+        if self.checkpoint_path is None:
+            handle = tempfile.NamedTemporaryFile(
+                prefix="mcr-image-", suffix=".img", delete=False
+            )
+            handle.close()
+            self.checkpoint_path = handle.name
+            self._owns_path = True
+        try:
+            self._run(result)
+        except Exception as error:  # pragma: no cover - the never-raise backstop
+            result.error = f"drill error: {error!r}"
+        finally:
+            if self._owns_path:
+                try:
+                    os.unlink(self.checkpoint_path)
+                except OSError:
+                    pass
+        return result
+
+    def _run(self, result: FailoverResult) -> None:
+        self.primary = Node.boot(
+            self.server, node_id=PRIMARY_ID, config=self.config
+        )
+        lb = LoadBalancer([PRIMARY_ID, STANDBY_ID])
+        lb.mark_updating(STANDBY_ID)  # warm, but out of rotation
+        # Warm up, then seed the image/baseline/standby.
+        self.primary.serve(self.requests_per_window)
+        self.primary.drain()
+        self._cut_full(result)
+        self._boot_standby(result)
+        serving = self.primary
+        crash_ns: Optional[int] = None
+        start_ns = serving.now_ns
+        last_cp_ns = start_ns
+        interval = self.config.checkpoint_interval_ns
+        for window in range(self.windows):
+            deadline = start_ns + (window + 1) * self.window_ns
+            serving.serve(self.requests_per_window)
+            if self.crash and window == self.crash_window and not result.crashed:
+                serving.advance_to(deadline - self.window_ns // 2)
+                crash_ns = serving.now_ns
+                serving = self._failover(result)
+                if serving is None:
+                    break
+                lb.mark_updating(PRIMARY_ID)
+                lb.mark_healthy(serving.node_id)
+            serving.advance_to(deadline)
+            if serving is self.primary and self.standby is not None:
+                self._sync_clock(self.standby.node, deadline)
+            if serving is self.primary and deadline - last_cp_ns >= interval:
+                self._cadence_tick(result)
+                last_cp_ns = deadline
+        if serving is not None:
+            serving.drain()
+            result.served_after = bool(serving.served_version() or serving.completed)
+            result.primary_survived = serving is self.primary
+            self._measure(result, serving, crash_ns, start_ns)
+        self._teardown(serving)
+
+    def _measure(
+        self,
+        result: FailoverResult,
+        serving: Node,
+        crash_ns: Optional[int],
+        start_ns: int,
+    ) -> None:
+        nodes = [self.primary]
+        if serving is not self.primary:
+            nodes.append(serving)
+        result.requests_sent = sum(n.requests_sent for n in nodes) - result.reissued
+        result.requests_completed = sum(n.completed for n in nodes)
+        result.requests_lost = sum(n.lost for n in nodes)
+        if result.crashed and self.primary is not None:
+            # In-flight clients frozen with the crashed kernel: their
+            # re-issues completed (or were lost) on the standby; anything
+            # still pending there after the final drain is lost for good.
+            result.requests_lost += serving.pending() if serving else 0
+        merged = ClientLatencyLog()
+        for node in nodes:
+            merged.samples.extend(node.latency.samples)
+        merged.samples.sort()
+        end_ns = serving.now_ns
+        result.perceived = ClientPerceived.measure(
+            merged,
+            self.config.downtime_budget_ns,
+            window=(start_ns, end_ns),
+        ).to_dict()
+        if crash_ns is not None and serving is not self.primary:
+            after = [r for _s, r in serving.latency.samples if r >= crash_ns]
+            if after:
+                result.rto_ns = min(after) - crash_ns
+
+    def _teardown(self, serving: Optional[Node]) -> None:
+        for node in (
+            self.primary,
+            self.standby.node if self.standby is not None else None,
+            serving,
+        ):
+            if node is not None:
+                try:
+                    node.teardown()
+                except Exception:  # a dead kernel may refuse; best effort
+                    pass
+
+
+def run_failover_drill(
+    server: str = "simple",
+    config: Optional[MCRConfig] = None,
+    **kwargs: Any,
+) -> FailoverResult:
+    """Convenience wrapper: build a drill, run it, return the result."""
+    return FailoverDrill(server, config=config, **kwargs).run()

@@ -292,6 +292,26 @@ class Kernel:
             self.terminate_process(descendant, status)
         self.terminate_process(process, status)
 
+    def crash_tree(self, process: Process, status: int = 137) -> None:
+        """Kill a tree *abruptly*: no fd release, no port cleanup.
+
+        Models a host/process crash (SIGKILL, power loss) for failover
+        drills: descriptors are simply abandoned — connected peers see a
+        dead endpoint, the listener stays in the port table wedged — and
+        nothing that orderly ``terminate_process`` teardown would have
+        done (refcount releases, accept-queue drains) happens.  Recovery
+        must come from a checkpoint image, never from this kernel.
+        """
+        for victim in [process] + process.descendants():
+            if victim.exited:
+                continue
+            for thread in list(victim.threads.values()):
+                self._retire_thread(thread)
+            victim.exited = True
+            victim.exit_status = status
+            namespace = getattr(victim, "namespace", None) or self.pidns
+            namespace.release(victim.pid)
+
     def _retire_thread(self, thread: Thread) -> None:
         if thread.state == EXITED:
             return

@@ -35,6 +35,8 @@ class MCRConfig:
         blackbox_path=None,                      # where to dump blackbox.json
         update_mode: str = "whole-tree",         # "whole-tree" | "rolling"
         rolling_batch: int = 1,                  # workers quiesced/transferred per batch
+        checkpoint_path=None,                    # durable image file (None = in-memory only)
+        checkpoint_interval_ns: int = 100_000_000,  # incremental-checkpoint cadence (100 ms)
     ) -> None:
         self.unblockify_slice_ns = unblockify_slice_ns
         self.unblockify_poll_cost_ns = unblockify_poll_cost_ns
@@ -97,6 +99,14 @@ class MCRConfig:
             )
         self.update_mode = update_mode
         self.rolling_batch = max(1, int(rolling_batch))
+        # Durable checkpointing (``repro.checkpoint``).  ``checkpoint_path``
+        # is where full images are written (atomically: tmp + rename, so a
+        # torn write never replaces the last good image); None keeps
+        # images in memory only.  ``checkpoint_interval_ns`` is the
+        # cadence at which incremental deltas are cut and streamed to a
+        # warm standby — the knob the failover bench sweeps against RTO.
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval_ns = int(checkpoint_interval_ns)
 
 
 class TransferCostModel:

@@ -34,8 +34,10 @@ from repro import obs
 from repro.errors import (
     AllocatorError,
     ConflictError,
+    ImageError,
     MCRError,
     MemoryFault,
+    PromotionError,
     QuiescenceTimeout,
     SimError,
 )
@@ -47,7 +49,7 @@ from repro.errors import (
 # documents how to add a new one (add it here, call ``fire`` at the site,
 # cover it in the matrix).
 
-SITES: Dict[str, str] = {
+UPDATE_SITES: Dict[str, str] = {
     "quiescence.wait": "checkpoint barrier never converges",
     "offline.analysis": "conservative tracing of the quiesced old tree fails",
     "restart.spawn": "the new-version bootstrap cannot be started",
@@ -62,6 +64,22 @@ SITES: Dict[str, str] = {
     "commit.critical": "crash inside commit, after the point of no return",
     "rollback": "the rollback path itself faults (double fault)",
 }
+
+# Failure modes of the durable-checkpoint / warm-standby plane
+# (``repro.checkpoint`` + the fleet failover driver).  These never fire
+# during a live update; ``bench faultmatrix`` exercises them through
+# failover drills instead of update cells.
+CHECKPOINT_SITES: Dict[str, str] = {
+    "checkpoint.capture": "quiesce-and-serialize of the tree fails mid-checkpoint",
+    "checkpoint.write": "the durable image write dies mid-file (torn image)",
+    "checkpoint.delta": "incremental dirty-page capture fails",
+    "stream.send": "the delta stream to the standby dies mid-send",
+    "stream.apply": "the standby rejects/corrupts an applied delta",
+    "restore.image": "rehydrating an image into a fresh kernel fails",
+    "standby.promote": "standby promotion fails its integrity verification",
+}
+
+SITES: Dict[str, str] = {**UPDATE_SITES, **CHECKPOINT_SITES}
 
 # Default error each site raises when the arm does not name one.
 DEFAULT_ERRORS: Dict[str, Callable[[], BaseException]] = {
@@ -94,6 +112,27 @@ DEFAULT_ERRORS: Dict[str, Callable[[], BaseException]] = {
         "injected: crash inside commit critical section"
     ),
     "rollback": lambda: MCRError("injected: rollback step crashed"),
+    "checkpoint.capture": lambda: SimError(
+        "injected: checkpoint capture crashed mid-serialize"
+    ),
+    "checkpoint.write": lambda: SimError(
+        "injected: image write died mid-file"
+    ),
+    "checkpoint.delta": lambda: SimError(
+        "injected: dirty-page delta capture crashed"
+    ),
+    "stream.send": lambda: SimError(
+        "injected: delta stream channel died mid-send"
+    ),
+    "stream.apply": lambda: ImageError(
+        "delta", "injected: standby rejected applied delta"
+    ),
+    "restore.image": lambda: ImageError(
+        "restore", "injected: image rehydration crashed"
+    ),
+    "standby.promote": lambda: PromotionError(
+        "injected: standby failed promotion verification"
+    ),
 }
 
 
@@ -373,6 +412,48 @@ class TreeFingerprint:
 
     def matches(self, other: "TreeFingerprint") -> bool:
         return not self.diff(other)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact JSON serialization (lossless, unlike ``summary()``).
+
+        The checkpoint image embeds this as its integrity header; the
+        restorer round-trips it through ``from_dict`` and compares with
+        ``matches()`` against a live capture, so the encoding must
+        preserve every tuple component bit for bit.
+        """
+        processes = {}
+        for (pid, name), (mem, fds, allocator) in sorted(self.processes.items()):
+            processes[f"{pid}|{name}"] = {
+                "mem": [list(entry) for entry in mem],
+                "fds": [list(entry) for entry in fds],
+                "allocator": list(allocator),
+            }
+        return {
+            "processes": processes,
+            "listeners": [list(entry) for entry in self.listeners],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "TreeFingerprint":
+        """Rebuild the exact tuple structures ``capture()`` produces."""
+        processes: Dict[Tuple[int, str], Tuple] = {}
+        for key, record in payload["processes"].items():
+            pid_text, _, name = key.partition("|")
+            mem = tuple(
+                (entry[0], entry[1], entry[2], entry[3])
+                for entry in record["mem"]
+            )
+            fds = tuple(
+                (entry[0], entry[1], entry[2], bool(entry[3]))
+                for entry in record["fds"]
+            )
+            allocator = tuple(record["allocator"])
+            processes[(int(pid_text), name)] = (mem, fds, allocator)
+        listeners = tuple(
+            sorted((entry[0], entry[1], bool(entry[2]))
+                   for entry in payload["listeners"])
+        )
+        return cls(processes, listeners)
 
     def summary(self) -> Dict[str, Any]:
         """A compact, JSON-safe digest for the black-box artifact."""

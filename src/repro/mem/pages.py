@@ -128,6 +128,18 @@ class PageTracker:
         get = self._page_seq.get
         return any(get(page, 0) > seq for page in range(first, last + 1))
 
+    def pages_written_since(self, seq: int) -> Iterator[int]:
+        """Yield base addresses of pages written after write-sequence ``seq``.
+
+        The incremental-checkpoint delta source: a full image records each
+        mapping's ``write_seq``, and the next checkpoint ships exactly the
+        pages this yields — layered on the same sequencing the incremental
+        scan cache uses, so neither consumer disturbs the soft-dirty bits.
+        """
+        for page in sorted(self._page_seq):
+            if self._page_seq[page] > seq:
+                yield self.base + page * PAGE_SIZE
+
     def dirty_pages(self) -> Iterator[int]:
         """Yield base addresses of dirty pages (all pages if never cleared)."""
         if not self._cleared_once:

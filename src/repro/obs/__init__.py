@@ -62,6 +62,7 @@ __all__ = [
     "observe",
     "recorder_for",
     "scoped",
+    "span",
     "uninstall",
 ]
 
@@ -215,3 +216,25 @@ def emit(name: str, severity: str = "info", **payload: Any) -> None:
     collector = ACTIVE
     if collector is not None:
         collector.events.emit(name, severity=severity, **payload)
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[None]:
+    """Record a span on the active collector for the duration of the block.
+
+    The no-op-when-disabled convenience for phase producers that do not
+    need the ``Span`` object itself (the checkpoint/restore pipeline):
+    with no collector active the body runs untouched; with one active the
+    span closes with error status if the block raises.
+    """
+    collector = ACTIVE
+    if collector is None:
+        yield
+        return
+    opened = collector.spans.begin(name, **attrs)
+    try:
+        yield
+    except BaseException:
+        collector.spans.end(opened, status="error")
+        raise
+    collector.spans.end(opened)

@@ -377,6 +377,10 @@ def make_program(
         ],
     )
     program.metadata["janitor_main"] = janitor_main
+    # Checkpoint-restore hook: threads that are not part of the
+    # deterministic startup shape, keyed by name so the image restorer
+    # can respawn them before validating the booted tree.
+    program.metadata["volatile_thread_mains"] = {"janitor": janitor_main}
     if mcr_prepared:
         # The paper's 8 LOC (skip own-instance detection) + 10 LOC
         # (deterministic custom allocation behaviour).

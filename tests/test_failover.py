@@ -1,0 +1,96 @@
+"""Warm-standby failover drills: clean crashes, injected faults, staleness.
+
+The robustness contract under test: a primary crash with a warm standby
+loses zero requests and recovers within the downtime budget, and every
+fault site in the checkpoint plane converges to exactly one of two
+outcomes — recovered on the standby (or cold-restored from the durable
+image) XOR the primary continued cleanly — without ever raising out of
+the drill.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.faultmatrix import run_failover_cell
+from repro.fleet.failover import FailoverDrill
+from repro.mcr.config import MCRConfig
+from repro.mcr.faults import CHECKPOINT_SITES, DEFAULT_ERRORS, SITES, FaultPlan
+
+FAULT_CELLS = tuple(CHECKPOINT_SITES) + ("checkpoint.write+standby.promote",)
+
+
+def test_clean_failover_loses_nothing():
+    config = MCRConfig(checkpoint_interval_ns=25_000_000)
+    result = FailoverDrill("simple", config=config).run()
+    assert result.error is None
+    assert result.crashed and result.promoted
+    assert result.requests_lost == 0
+    assert result.served_after
+    assert result.rto_ns is not None
+    assert result.rto_ns < config.downtime_budget_ns
+    assert result.perceived is not None and result.perceived["slo_ok"]
+
+
+def test_no_crash_drill_is_a_quiet_baseline():
+    config = MCRConfig(checkpoint_interval_ns=25_000_000)
+    result = FailoverDrill("simple", config=config, crash=False).run()
+    assert result.error is None
+    assert not result.crashed and not result.promoted
+    assert result.requests_lost == 0
+    assert result.primary_survived
+    assert result.deltas_sent > 0
+
+
+@pytest.mark.parametrize("site", FAULT_CELLS)
+def test_fault_cells_converge_without_raising(site, tmp_path):
+    cell = run_failover_cell(
+        "simple", site, blackbox_path=str(tmp_path / "blackbox.json")
+    )
+    assert not cell["raised"], cell.get("error")
+    assert cell["error"] is None
+    assert cell["fired"], f"armed fault at {site} never fired"
+    assert cell["served_after"]
+    assert cell["requests_lost"] == 0
+    # Exactly one recovery story per cell, never both, never neither.
+    assert cell["recovered_on_standby"] != cell["primary_survived"]
+    assert cell["converged"]
+
+
+def test_stream_faults_leave_a_stale_but_promotable_standby(tmp_path):
+    cell = run_failover_cell(
+        "simple", "stream.send", blackbox_path=str(tmp_path / "blackbox.json")
+    )
+    assert cell["standby_stale"]
+    assert cell["stale_lag"] > 0
+    assert cell["promoted"] and cell["converged"]
+
+
+def test_torn_write_plus_dead_standby_cold_restores(tmp_path):
+    cell = run_failover_cell(
+        "simple",
+        "checkpoint.write+standby.promote",
+        blackbox_path=str(tmp_path / "blackbox.json"),
+    )
+    assert cell["cold_restored"]
+    assert not cell["primary_survived"]
+    assert cell["converged"]
+
+
+def test_every_site_has_a_default_error():
+    assert set(DEFAULT_ERRORS) == set(SITES)
+    assert set(CHECKPOINT_SITES) <= set(SITES)
+
+
+def test_drill_never_raises_even_with_all_sites_armed(tmp_path):
+    plan = FaultPlan()
+    for site in CHECKPOINT_SITES:
+        plan.at(site)
+    config = MCRConfig(
+        faults=plan,
+        checkpoint_interval_ns=25_000_000,
+        blackbox_path=str(tmp_path / "blackbox.json"),
+    )
+    result = FailoverDrill("simple", config=config).run()
+    assert result.error is None
+    assert result.served_after
