@@ -4,8 +4,13 @@ For each evaluation server and each fault site in
 ``repro.mcr.faults.SITES``: boot the server, run a short workload (and,
 where the protocol supports it, park a couple of held connections so the
 restore-phase sites have work to fail), arm a ``FaultPlan`` for the site,
-and trigger a live update.  Each cell then asserts the paper's safety
-property (§3, §6.3) end to end:
+and trigger a live update.  Every cell runs through
+``repro.replay.run_scenario`` — the same re-executable unit the
+record/replay and fuzzing planes use — so with a trace path configured
+each failed cell leaves a ``blackbox.json``/trace pair that
+``python -m repro replay`` re-executes bit-identically to the failure.
+Each cell then asserts the paper's safety property (§3, §6.3) end to
+end:
 
 * ``run_update`` returned — the fault never escaped as an exception;
 * the surviving version is actually *serving* (a probe workload runs
@@ -30,24 +35,14 @@ every cell's ``survived`` and ``old_version_intact`` booleans.
 
 from __future__ import annotations
 
-import importlib
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.harness import SERVER_BENCHES, boot_server
 from repro.bench.reporting import fmt_cell, render_table
-from repro.errors import SimError
-from repro.kernel.kernel import Kernel
-from repro.kernel.process import sim_function
 from repro.mcr.config import MCRConfig
-from repro.mcr.ctl import McrCtl
 from repro.mcr.faults import CHECKPOINT_SITES, FaultPlan, UPDATE_SITES
-from repro.runtime.instrument import BuildConfig
-from repro.runtime.libmcr import MCRSession
-from repro.runtime.program import load_program
-from repro.servers.common import connect_with_retry
-from repro.workloads.ab import ApacheBench
-from repro.workloads.ftpbench import FtpBench
-from repro.workloads.holders import ConnectionHolder
+from repro.replay.scenario import default_spec, run_scenario
+from repro.replay.trace import TraceLog
+from repro.workloads.linebench import LineBench  # noqa: F401  (re-export)
 
 FULL_SERVERS = ("simple", "httpd", "nginx", "vsftpd", "memcache")
 SMOKE_SERVERS = ("simple", "vsftpd", "memcache")
@@ -55,121 +50,6 @@ SMOKE_SERVERS = ("simple", "vsftpd", "memcache")
 # multi-worker pools where per-batch hand-off is meaningful).
 ROLLING_FULL_SERVERS = ("httpd", "nginx")
 ROLLING_SMOKE_SERVERS = ("httpd",)
-
-# Held connections for servers whose protocol the holder speaks: they
-# give the restore-phase sites (restore.fds, restore.handlers) real work.
-_HELD_CONNECTIONS = 2
-
-
-class LineBench:
-    """Line-protocol driver for the command servers (simple, memcache).
-
-    Each client connects once and plays the scripted ``(line, expected
-    reply prefix)`` exchanges — AB's ``GET <path>`` shape only draws
-    ``err unknown`` from these protocols, which would make the probe
-    vacuous.
-    """
-
-    def __init__(self, port: int, script, clients: int = 1) -> None:
-        self.port = port
-        self.script = list(script)
-        self.clients = clients
-        self.completed = 0
-        self.errors = 0
-
-    def run(self, kernel: Kernel, max_steps: int = 5_000_000) -> None:
-        bench = self
-
-        @sim_function
-        def line_client(sys):
-            try:
-                fd = yield from connect_with_retry(sys, bench.port)
-            except SimError:
-                bench.errors += len(bench.script)
-                return
-            for line, expect in bench.script:
-                yield from sys.send(fd, (line + "\n").encode())
-                reply = yield from sys.recv(fd)
-                if reply and reply.decode(errors="replace").startswith(expect):
-                    bench.completed += 1
-                else:
-                    bench.errors += 1
-            yield from sys.close(fd)
-
-        procs = [
-            kernel.spawn_process(line_client, name=f"line-{index}")
-            for index in range(self.clients)
-        ]
-        kernel.run(until=lambda: all(p.exited for p in procs), max_steps=max_steps)
-
-
-# Per-server workload/probe wiring.  ``bench`` is the pre-update state
-# populator; ``probe`` must complete with zero errors against whichever
-# version is serving after the update attempt.
-_MATRIX: Dict[str, Dict] = {
-    "simple": {
-        "port": 8080,
-        "bench": lambda: LineBench(
-            8080,
-            [("push 5", "ok"), ("push 7", "ok"), ("sum", "sum 12")],
-            clients=2,
-        ),
-        "probe": lambda: LineBench(8080, [("sum", "sum"), ("version", "version")]),
-        "holder_kind": None,
-    },
-    "httpd": {
-        "port": 80,
-        "bench": lambda: ApacheBench(80, requests=30, concurrency=2),
-        "probe": lambda: ApacheBench(80, requests=5, concurrency=1),
-        "holder_kind": "http",
-    },
-    "nginx": {
-        "port": 8081,
-        "bench": lambda: ApacheBench(8081, requests=30, concurrency=2),
-        "probe": lambda: ApacheBench(8081, requests=5, concurrency=1),
-        "holder_kind": "http",
-    },
-    "vsftpd": {
-        "port": 21,
-        "bench": lambda: FtpBench(21, users=3, retrievals=1),
-        "probe": lambda: FtpBench(21, users=1, retrievals=1),
-        "holder_kind": "ftp",
-    },
-    "memcache": {
-        "port": 11211,
-        "bench": lambda: LineBench(
-            11211,
-            [("set k1 v1", "STORED"), ("set k2 v2", "STORED"), ("get k1", "VALUE v1")],
-        ),
-        "probe": lambda: LineBench(11211, [("get k1", "VALUE v1"), ("nstats", "STATS")]),
-        "holder_kind": None,
-    },
-}
-
-
-class _World:
-    def __init__(self, kernel: Kernel, module, session: MCRSession, port: int) -> None:
-        self.kernel = kernel
-        self.module = module
-        self.session = session
-        self.port = port
-
-
-def _boot(name: str) -> _World:
-    """Boot one matrix server (servers outside SERVER_BENCHES included)."""
-    module = importlib.import_module(f"repro.servers.{name}")
-    if name in SERVER_BENCHES:
-        world = boot_server(name)
-        return _World(world.kernel, module, world.session, world.port)
-    kernel = Kernel()
-    module.setup_world(kernel)
-    program = module.make_program(1)
-    build = BuildConfig.full()
-    session = MCRSession(kernel, program, build)
-    load_program(kernel, program, build=build, session=session)
-    kernel.run(until=lambda: session.startup_complete, max_steps=400_000)
-    return _World(kernel, module, session, _MATRIX[name]["port"])
-
 
 def _arm(site: str) -> FaultPlan:
     plan = FaultPlan()
@@ -185,28 +65,32 @@ def _arm(site: str) -> FaultPlan:
     return plan
 
 
+def cell_spec(server: str, site: str, mode: str = "whole-tree") -> Dict[str, object]:
+    """The re-executable scenario spec of one matrix cell."""
+    return default_spec(server, mode=mode, faults=_arm(site).to_spec())
+
+
 def run_cell(
     server: str,
     site: str,
     blackbox_path: Optional[str] = None,
     mode: str = "whole-tree",
+    trace_path: Optional[str] = None,
 ) -> Dict[str, object]:
-    spec = _MATRIX[server]
-    world = _boot(server)
-    spec["bench"]().run(world.kernel)
-    holder: Optional[ConnectionHolder] = None
-    if spec["holder_kind"] is not None:
-        holder = ConnectionHolder(world.port, _HELD_CONNECTIONS, spec["holder_kind"])
-        holder.establish(world.kernel)
-    plan = _arm(site)
-    config = MCRConfig(faults=plan, blackbox_path=blackbox_path, update_mode=mode)
-    ctl = McrCtl(world.kernel, world.session)
-    raised: Optional[str] = None
-    result = None
-    try:
-        result = ctl.live_update(world.module.make_program(2), config=config)
-    except BaseException as error:  # the property under test: never happens
-        raised = repr(error)
+    spec = cell_spec(server, site, mode)
+    trace = TraceLog.record(spec) if trace_path else None
+    outcome = run_scenario(
+        spec,
+        trace=trace,
+        trace_path=trace_path,
+        blackbox_path=blackbox_path,
+        # A shared trace path must stay paired with the shared blackbox
+        # path: only cells that dumped a post-mortem write either file.
+        trace_save="on-blackbox",
+    )
+    plan = outcome.plan
+    result = outcome.result
+    raised = outcome.raised
     fired = [s for s, _hit in plan.injected]
     expect_commit = site == "commit.critical" or not fired
     cell: Dict[str, object] = {
@@ -243,20 +127,21 @@ def run_cell(
             "path": result.blackbox_path,
         }
         cell["blackbox_matches_site"] = bool(fired) and last_fault_site == fired[-1]
+        if trace is not None and trace.path:
+            cell["trace_path"] = trace.path
     else:
         cell["blackbox_matches_site"] = None
     # Survival: whichever version should now be serving answers traffic.
-    listener = world.kernel.net.listener_for(world.port)
-    probe = spec["probe"]()
-    try:
-        probe.run(world.kernel)
-        probe_ok = probe.errors == 0 and probe.completed > 0
-    except BaseException as error:  # pragma: no cover - diagnostics only
-        probe_ok = False
-        cell["probe_error"] = repr(error)
-    cell["probe_completed"] = probe.completed
-    cell["probe_errors"] = probe.errors
-    survived = raised is None and listener is not None and probe_ok
+    probe_ok = (
+        outcome.probe_error is None
+        and outcome.probe_errors == 0
+        and outcome.probe_completed > 0
+    )
+    if outcome.probe_error is not None:
+        cell["probe_error"] = outcome.probe_error
+    cell["probe_completed"] = outcome.probe_completed
+    cell["probe_errors"] = outcome.probe_errors
+    survived = raised is None and outcome.listener_present and probe_ok
     if result is not None:
         survived = survived and (result.committed != result.rolled_back)
         survived = survived and (result.committed == expect_commit)
@@ -272,8 +157,6 @@ def run_cell(
     else:
         intact = survived
     cell["old_version_intact"] = intact
-    if holder is not None:
-        holder.finish(world.kernel)
     return cell
 
 
@@ -373,12 +256,22 @@ def run_faultmatrix(
 ) -> Dict[str, object]:
     names = tuple(servers) if servers else (SMOKE_SERVERS if smoke else FULL_SERVERS)
     cells: List[Dict[str, object]] = []
+    # Every cell records a trace alongside its black box: the pair that
+    # survives the run (both only written on a failed update) is what
+    # ``python -m repro replay <blackbox> --to-failure`` re-executes.
+    trace_path = (
+        blackbox_path.replace(".json", ".trace.json") if blackbox_path else None
+    )
     # The update grid covers the live-update pipeline sites only; the
     # checkpoint/standby sites never fire during an update (they belong
     # to the failover drills below).
     for server in names:
         for site in UPDATE_SITES:
-            cells.append(run_cell(server, site, blackbox_path=blackbox_path))
+            cells.append(
+                run_cell(
+                    server, site, blackbox_path=blackbox_path, trace_path=trace_path
+                )
+            )
     # The rolling rows: the same safety property must hold when the update
     # hands workers off one batch at a time — each fault still ends in
     # exactly one of {committed, rolled back}, with the rollback verified
@@ -387,7 +280,13 @@ def run_faultmatrix(
     for server in rolling_names:
         for site in UPDATE_SITES:
             cells.append(
-                run_cell(server, site, blackbox_path=blackbox_path, mode="rolling")
+                run_cell(
+                    server,
+                    site,
+                    blackbox_path=blackbox_path,
+                    mode="rolling",
+                    trace_path=trace_path,
+                )
             )
     # The failover grid: one crash drill per checkpoint-plane site (plus
     # the clean-crash and torn-image double-fault rows), each required to

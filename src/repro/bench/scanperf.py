@@ -27,7 +27,6 @@ the perf trajectory is tracked PR over PR.
 
 from __future__ import annotations
 
-import random
 import time
 from typing import Dict, List, Sequence, Tuple
 
@@ -39,6 +38,7 @@ from repro.mcr.ctl import McrCtl
 from repro.mcr.tracing import conservative
 from repro.mcr.tracing.graph import AddressResolver
 from repro.mem import scan_backend
+from repro.replay.rng import RngStream
 from repro.types.descriptors import WORD_SIZE
 
 # Prefork pool sizes swept by the scaling curve; --smoke trims the sweep
@@ -70,7 +70,9 @@ def _seed_pointer_field(process, size: int = 256 * 1024) -> None:
     exercises the whole kernel: decode, prefilter, resolve, alignment
     rejection.
     """
-    rng = random.Random(0xC0FFEE)
+    # Explicit seed => RngStream reproduces random.Random(0xC0FFEE)'s
+    # exact sequence, so the seeded pointer field is unchanged.
+    rng = RngStream("bench.scanperf.seed", 0xC0FFEE)
     chunks = [
         process.heap.malloc(rng.choice((24, 48, 96, 160))) for _ in range(192)
     ]

@@ -8,10 +8,16 @@ Commands:
   per-thread report (default: all four evaluation servers).
 * ``bench <experiment>``     — regenerate one paper table/figure
   (table1, table2, table3, figure3, spec, memusage, updatetime,
-  ablations, scanperf, faultmatrix, or ``all``); ``--json`` also writes
-  ``BENCH_<experiment>.json`` through ``repro.obs.export``;
-  ``--smoke`` shrinks faultmatrix, updatetime, fleetroll, and scanperf
-  to their CI subsets.
+  ablations, scanperf, faultmatrix, fleetroll, failover, fuzz, or
+  ``all``); ``--json`` also writes ``BENCH_<experiment>.json`` through
+  ``repro.obs.export``; ``--smoke`` shrinks faultmatrix, updatetime,
+  fleetroll, scanperf, failover, and fuzz to their CI subsets;
+  ``--seed N`` reseeds the fuzzer's scenario draws.
+* ``replay <path>``          — re-execute a recorded trace (or the trace
+  referenced by a ``blackbox.json``) and assert bit-identical
+  equivalence; ``--to-failure`` stops at the failing fault site and
+  prints the open span stack; ``--export BASE`` writes a Chrome trace
+  and a JSON report of the replayed update.
 * ``trace [server]``         — live-update a server under an installed
   observability collector and print the span tree + counters;
   ``--export FILE`` writes a Chrome ``trace_event`` JSON (Perfetto).
@@ -210,13 +216,25 @@ def _bench_failover(smoke: bool = False):
     return results, render(results)
 
 
+def _bench_fuzz(smoke: bool = False, seed: int = 0):
+    from repro.bench.fuzz import render, run_fuzz
+
+    results = run_fuzz(smoke=smoke, seed=seed)
+    return results, render(results)
+
+
 def _bench_faultmatrix(smoke: bool = False):
     from repro.bench.faultmatrix import render, run_faultmatrix
 
-    # Each failed cell overwrites blackbox.json, so the artifact that
-    # survives the run is the post-mortem of the *last* injected fault —
-    # CI uploads it and checks it names the site that fired.
-    results = run_faultmatrix(smoke=smoke, blackbox_path="blackbox.json")
+    # Each failed cell overwrites the blackbox (and its paired replay
+    # trace), so the artifact that survives the run is the post-mortem of
+    # the *last* injected fault — CI uploads it and checks it names the
+    # site that fired.  The path derives from the bench's own artifact
+    # naming (BENCH_faultmatrix.json) so concurrent bench runs in one
+    # directory don't stomp a shared hard-coded blackbox.json.
+    results = run_faultmatrix(
+        smoke=smoke, blackbox_path="BENCH_faultmatrix_blackbox.json"
+    )
     return results, render(results)
 
 
@@ -234,13 +252,22 @@ BENCH_EXPERIMENTS = {
     "faultmatrix": _bench_faultmatrix,
     "fleetroll": _bench_fleetroll,
     "failover": _bench_failover,
+    "fuzz": _bench_fuzz,
 }
 
 
 def cmd_bench(args) -> int:
     names = list(BENCH_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    exit_code = 0
     for name in names:
-        if name in ("faultmatrix", "updatetime", "fleetroll", "scanperf", "failover"):
+        if name == "fuzz":
+            results, text = BENCH_EXPERIMENTS[name](
+                smoke=getattr(args, "smoke", False),
+                seed=getattr(args, "seed", 0),
+            )
+            if not results["all_ok"]:
+                exit_code = 1
+        elif name in ("faultmatrix", "updatetime", "fleetroll", "scanperf", "failover"):
             results, text = BENCH_EXPERIMENTS[name](
                 smoke=getattr(args, "smoke", False)
             )
@@ -252,7 +279,7 @@ def cmd_bench(args) -> int:
 
             path = write_bench_json(name, results)
             print(f"wrote {path}")
-    return 0
+    return exit_code
 
 
 def cmd_trace(args) -> int:
@@ -361,6 +388,28 @@ def cmd_metrics(args) -> int:
     return 0 if result.committed else 1
 
 
+def cmd_replay(args) -> int:
+    """Re-execute a recorded run and assert bit-identical equivalence.
+
+    Accepts either a trace file or a ``blackbox.json`` with an embedded
+    trace reference (every black box dumped while a recording was active
+    carries one).  ``--to-failure`` stops at the failing fault site and
+    prints the open span stack there; ``--export`` additionally writes a
+    Chrome trace of the replayed update plus a JSON report.
+    """
+    from repro.replay import replay_path
+
+    try:
+        report = replay_path(
+            args.path, to_failure=args.to_failure, export=args.export
+        )
+    except (OSError, ValueError) as error:
+        print(f"cannot replay {args.path}: {error}", file=_host_sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.equivalent else 1
+
+
 def cmd_status(args) -> int:
     from repro.mcr.ctl import McrCtl
 
@@ -390,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["table1", "table2", "table3", "figure3", "spec",
                  "memusage", "updatetime", "ablations", "scanperf",
-                 "faultmatrix", "fleetroll", "failover", "all"],
+                 "faultmatrix", "fleetroll", "failover", "fuzz", "all"],
     )
     bench.add_argument(
         "--json",
@@ -400,7 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="faultmatrix/updatetime/fleetroll/scanperf/failover: run the reduced CI subset",
+        help="faultmatrix/updatetime/fleetroll/scanperf/failover/fuzz: "
+             "run the reduced CI subset",
+    )
+    bench.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzz: master seed for the randomized scenario draws",
     )
     bench.set_defaults(fn=cmd_bench)
 
@@ -427,6 +483,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write METRICS_<server>.json",
     )
     metrics.set_defaults(fn=cmd_metrics)
+
+    replay = subparsers.add_parser(
+        "replay",
+        help="re-execute a recorded trace (or a blackbox's embedded trace) "
+             "and assert bit-identical equivalence",
+    )
+    replay.add_argument(
+        "path", help="a *.trace.json file or a blackbox JSON with a trace ref"
+    )
+    replay.add_argument(
+        "--to-failure",
+        action="store_true",
+        dest="to_failure",
+        help="stop at the failing fault site; print the open span stack there",
+    )
+    replay.add_argument(
+        "--export",
+        metavar="BASE",
+        default=None,
+        help="write BASE.chrome.json (Perfetto) and BASE.report.json",
+    )
+    replay.set_defaults(fn=cmd_replay)
 
     status = subparsers.add_parser("status", help="mcr-ctl status of a server")
     status.add_argument("server", nargs="?", default="simple", choices=SERVERS)

@@ -106,6 +106,10 @@ class Kernel:
         self._heap_counter = 0
         self._fault_charged: Dict[int, int] = {}
         self.steps_executed = 0
+        # Deterministic record/replay: when a ``repro.replay.TraceLog``
+        # is bound here (``trace.bind_kernel(kernel)``), every scheduler
+        # pick folds into its rolling pick-order CRC.
+        self.trace = None
 
     # -- process/thread lifecycle ---------------------------------------------
 
@@ -393,6 +397,8 @@ class Kernel:
     def _step(self, thread: Thread) -> None:
         self.steps_executed += 1
         self.clock.advance(self.config.step_cost_ns)
+        if self.trace is not None:
+            self.trace.on_pick(thread)
         collector = obs.ACTIVE
         if collector is not None:
             collector.counters.incr("kernel.steps")

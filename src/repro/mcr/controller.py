@@ -51,6 +51,7 @@ from repro.mcr.tracing.invariants import (
 )
 from repro.mcr.tracing.incremental import SharedScanCache
 from repro.mcr.tracing.transfer import StateTransfer, TransferReport
+from repro.replay import trace as replay_trace
 from repro.runtime.instrument import BuildConfig
 from repro.runtime.libmcr import MCRSession, PHASE_NORMAL
 from repro.runtime.program import Program, load_program
@@ -806,6 +807,14 @@ class LiveUpdateController:
             program=self.new_program.name,
             to_version=self.new_program.version,
         )
+        # Deterministic replay hook: when this update ran under a
+        # ``repro.replay`` recording, the black box carries the trace
+        # reference (scenario spec + trace file path), so the post-mortem
+        # artifact alone is enough to re-execute the run to this failure
+        # (``python -m repro replay blackbox.json --to-failure``).
+        active_trace = replay_trace.ACTIVE
+        if active_trace is not None:
+            result.blackbox["trace"] = active_trace.reference()
         path = getattr(self.config, "blackbox_path", None)
         if path:
             try:

@@ -26,11 +26,11 @@ before.  This module provides the two halves of *proving* that:
 
 from __future__ import annotations
 
-import random
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.replay.rng import RngStream, derive_seed
 from repro.errors import (
     AllocatorError,
     ConflictError,
@@ -158,9 +158,21 @@ class FaultArm:
         self.nth = nth
         self.times = times
         # Probabilistic trigger: each hit fires with probability p, drawn
-        # from a per-arm seeded stream (reproducible across runs).
+        # from a per-arm seeded ``repro.replay`` stream — reproducible
+        # across runs, attributable by name, and recorded draw-by-draw
+        # whenever a TraceLog is active.  An explicit seed reproduces the
+        # exact ``random.Random(seed)`` sequence; with no seed the stream
+        # derives one from the site name instead of ambient entropy.
         self.probability = probability
-        self._rng = random.Random(seed) if probability is not None else None
+        self.seed = seed
+        if probability is not None:
+            stream_name = f"faults.{site}"
+            self._rng: Optional[RngStream] = RngStream(
+                stream_name,
+                derive_seed(0, stream_name) if seed is None else seed,
+            )
+        else:
+            self._rng = None
         self.hits = 0
         self.fired = 0
 
@@ -185,6 +197,24 @@ class FaultArm:
             # Probabilistic arms keep their stream position: reset only
             # restarts hit counting (a fresh stream needs a fresh arm).
             pass
+
+    def to_spec(self) -> Dict[str, Any]:
+        """JSON-serializable trigger description (defaults-only errors).
+
+        Custom error *objects* are not captured — a re-executed arm
+        raises the site's default error instead.  Every scenario the
+        record/replay and fuzzing planes generate uses default errors,
+        so round-tripping through a spec is lossless there.
+        """
+        spec: Dict[str, Any] = {"site": self.site}
+        if self.probability is not None:
+            spec["probability"] = self.probability
+            if self.seed is not None:
+                spec["seed"] = self.seed
+        else:
+            spec["nth"] = self.nth
+            spec["times"] = self.times
+        return spec
 
 
 class FaultPlan:
@@ -276,6 +306,34 @@ class FaultPlan:
         for arms in self._arms.values():
             for arm in arms:
                 arm.reset()
+
+    # -- spec round-trip (record/replay + fuzzing) -----------------------------
+
+    def to_spec(self) -> List[Dict[str, Any]]:
+        """JSON-serializable arm list, re-creatable via ``from_spec``."""
+        return [
+            arm.to_spec()
+            for site in sorted(self._arms)
+            for arm in self._arms[site]
+        ]
+
+    @classmethod
+    def from_spec(cls, arms: List[Dict[str, Any]]) -> "FaultPlan":
+        """Rebuild a plan from ``to_spec`` output (default errors only)."""
+        plan = cls()
+        for spec in arms:
+            site = spec["site"]
+            if "probability" in spec:
+                plan.with_probability(
+                    site, spec["probability"], seed=spec.get("seed", 0)
+                )
+            else:
+                plan.at(
+                    site,
+                    nth=spec.get("nth", 1),
+                    times=spec.get("times", 1),
+                )
+        return plan
 
     def __bool__(self) -> bool:
         return bool(self._arms)

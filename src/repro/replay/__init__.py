@@ -1,0 +1,63 @@
+"""``repro.replay`` — deterministic record/replay of the simulated kernel.
+
+The cooperative scheduler and the virtual clock make the whole simulation
+deterministic *given its inputs*; the only nondeterminism sources are the
+seeded RNG streams (fault-plan probabilistic draws, workload jitter) and,
+across code changes, the scheduler's pick order itself.  This package
+turns that into an rr-style debugging story ("Engineering Record And
+Replay For Deployability", "Lightweight User-Space Record And Replay"):
+
+* ``rng``      — the ``RngRegistry``/``RngStream`` choke point every
+  pseudo-random draw in the tree routes through.  Streams are named and
+  seeded, so each draw is attributable, and while a ``TraceLog`` is
+  active every draw is recorded (record mode) or verified (replay mode).
+* ``trace``    — the ``TraceLog``: scenario header, the draw log, rolling
+  scheduler pick-order checkpoints (steps, virtual clock, CRC), and the
+  final observables (virtual clock, span-tree digest, tree fingerprint
+  digest, update outcome).
+* ``scenario`` — the re-executable unit: a JSON-serializable spec
+  (server x update mode x fault plan x workload) plus ``run_scenario``,
+  which boots the world, drives the workload, runs the live update and
+  the probe, and stamps the trace.  ``bench faultmatrix`` cells and the
+  ``bench fuzz`` harness both run through it.
+* ``replayer`` — re-executes a recorded run (from a trace file or from
+  the reference embedded in a ``blackbox.json``) and asserts bit-identical
+  equivalence: every draw, every scheduler checkpoint, the final virtual
+  clock, the span tree, and the tree fingerprint.
+
+``scenario`` and ``replayer`` import servers/workloads/MCR and are loaded
+lazily; ``trace`` and ``rng`` are dependency-free leaves so that
+``repro.mcr.faults`` can import this package without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.replay.rng import RngRegistry, RngStream
+from repro.replay.trace import Divergence, TraceLog, tracing
+
+__all__ = [
+    "Divergence",
+    "ReplayReport",
+    "Replayer",
+    "RngRegistry",
+    "RngStream",
+    "TraceLog",
+    "default_spec",
+    "replay_path",
+    "run_scenario",
+    "tracing",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: these modules import bench/servers/mcr machinery, which would
+    # cycle if pulled in while ``repro.mcr.faults`` is still importing us.
+    if name in ("Replayer", "ReplayReport", "replay_path"):
+        from repro.replay import replayer
+
+        return getattr(replayer, name)
+    if name in ("run_scenario", "default_spec"):
+        from repro.replay import scenario
+
+        return getattr(scenario, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,343 @@
+"""The re-executable unit of record/replay: one server × update × workload.
+
+A **scenario spec** is a small JSON-serializable dict that pins down one
+complete run of the simulated world::
+
+    {
+        "kind": "update",
+        "server": "httpd",            # simple|httpd|nginx|vsftpd|memcache
+        "mode": "whole-tree",         # or "rolling"
+        "seed": 0,                    # RngRegistry master seed
+        "faults": [ ...FaultPlan.to_spec()... ],
+        "workload": {"requests": 30, "concurrency": 2, "jitter_ns": 0},
+        "holders": 2,                 # parked protocol connections
+    }
+
+``run_scenario(spec)`` boots the named server from scratch (fresh kernel,
+fresh virtual clock), drives the pre-update workload, parks the held
+connections, arms the fault plan, runs the live update, and probes
+whichever version survived — exactly the shape of one ``bench
+faultmatrix`` cell, which now runs through this function.  Because the
+kernel is cooperative and the clock virtual, the *only* nondeterminism
+is the seeded RNG draws, so a spec re-executes bit-identically: same
+virtual timestamps, same span tree, same fingerprints, same outcome.
+
+Pass a ``TraceLog`` to record the run (or to verify it, in replay mode);
+the trace is bound to the kernel before boot, so even startup scheduling
+is covered.  ``until_failure=True`` stops right after the update attempt
+— no probe, no holder teardown — leaving the world parked at the state
+the failure left behind; the replayer uses this for ``--to-failure``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import zlib
+from typing import Any, Dict, Optional
+
+from repro import obs
+from repro.kernel.kernel import Kernel
+from repro.mcr.config import MCRConfig
+from repro.mcr.ctl import McrCtl
+from repro.mcr.faults import FaultPlan, TreeFingerprint
+from repro.obs.export import to_json
+from repro.replay import rng as replay_rng
+from repro.replay import trace as replay_trace
+from repro.replay.trace import TraceLog
+from repro.runtime.instrument import BuildConfig
+from repro.runtime.libmcr import MCRSession
+from repro.runtime.program import load_program
+from repro.workloads.ab import ApacheBench
+from repro.workloads.ftpbench import FtpBench
+from repro.workloads.holders import ConnectionHolder
+from repro.workloads.linebench import LineBench
+
+# Per-server wiring: port, protocol the connection holder speaks (None =
+# holders unsupported), and workload/probe defaults.  These mirror the
+# historical ``bench faultmatrix`` matrix exactly — the faultmatrix cells
+# run through ``run_scenario`` and must keep their recorded behaviour.
+SERVERS: Dict[str, Dict[str, Any]] = {
+    "simple": {"port": 8080, "holder_kind": None},
+    "httpd": {"port": 80, "holder_kind": "http"},
+    "nginx": {"port": 8081, "holder_kind": "http"},
+    "vsftpd": {"port": 21, "holder_kind": "ftp"},
+    "memcache": {"port": 11211, "holder_kind": None},
+}
+
+DEFAULT_HELD_CONNECTIONS = 2
+
+_LINE_SCRIPTS: Dict[str, Dict[str, Any]] = {
+    "simple": {
+        "bench": [("push 5", "ok"), ("push 7", "ok"), ("sum", "sum 12")],
+        "probe": [("sum", "sum"), ("version", "version")],
+        "clients": 2,
+    },
+    "memcache": {
+        "bench": [
+            ("set k1 v1", "STORED"),
+            ("set k2 v2", "STORED"),
+            ("get k1", "VALUE v1"),
+        ],
+        "probe": [("get k1", "VALUE v1"), ("nstats", "STATS")],
+        "clients": 1,
+    },
+}
+
+
+def default_spec(
+    server: str,
+    mode: str = "whole-tree",
+    seed: int = 0,
+    faults: Optional[list] = None,
+    workload: Optional[Dict[str, Any]] = None,
+    holders: Optional[int] = None,
+) -> Dict[str, Any]:
+    """A faultmatrix-cell-shaped spec for ``server`` (defaults filled in)."""
+    if server not in SERVERS:
+        raise ValueError(
+            f"unknown scenario server {server!r}; choose from {sorted(SERVERS)}"
+        )
+    info = SERVERS[server]
+    if holders is None:
+        holders = DEFAULT_HELD_CONNECTIONS if info["holder_kind"] else 0
+    return {
+        "kind": "update",
+        "server": server,
+        "mode": mode,
+        "seed": seed,
+        "faults": list(faults or []),
+        "workload": dict(workload or {}),
+        "holders": holders,
+    }
+
+
+def _workload_for(server: str, params: Dict[str, Any]):
+    port = SERVERS[server]["port"]
+    if server in _LINE_SCRIPTS:
+        script = _LINE_SCRIPTS[server]
+        return LineBench(
+            port, script["bench"], clients=params.get("clients", script["clients"])
+        )
+    if server == "vsftpd":
+        return FtpBench(
+            port,
+            users=params.get("users", 3),
+            retrievals=params.get("retrievals", 1),
+        )
+    return ApacheBench(
+        port,
+        requests=params.get("requests", 30),
+        concurrency=params.get("concurrency", 2),
+        jitter_ns=params.get("jitter_ns", 0),
+    )
+
+
+def _probe_for(server: str):
+    port = SERVERS[server]["port"]
+    if server in _LINE_SCRIPTS:
+        return LineBench(port, _LINE_SCRIPTS[server]["probe"])
+    if server == "vsftpd":
+        return FtpBench(port, users=1, retrievals=1)
+    return ApacheBench(port, requests=5, concurrency=1)
+
+
+class _World:
+    __slots__ = ("kernel", "module", "session", "port", "root")
+
+    def __init__(self, kernel, module, session, port, root) -> None:
+        self.kernel = kernel
+        self.module = module
+        self.session = session
+        self.port = port
+        self.root = root
+
+
+def _boot(name: str, kernel: Kernel) -> _World:
+    """Boot one scenario server into ``kernel`` (trace already bound)."""
+    from repro.bench.harness import SERVER_BENCHES, boot_server
+
+    module = importlib.import_module(f"repro.servers.{name}")
+    if name in SERVER_BENCHES:
+        world = boot_server(name, kernel=kernel)
+        return _World(kernel, module, world.session, world.port, world.root)
+    module.setup_world(kernel)
+    program = module.make_program(1)
+    build = BuildConfig.full()
+    session = MCRSession(kernel, program, build)
+    root = load_program(kernel, program, build=build, session=session)
+    kernel.run(until=lambda: session.startup_complete, max_steps=400_000)
+    return _World(kernel, module, session, SERVERS[name]["port"], root)
+
+
+class ScenarioOutcome:
+    """Everything one scenario run produced, for cells/fuzzing/replay."""
+
+    __slots__ = (
+        "spec",
+        "kernel",
+        "world",
+        "collector",
+        "plan",
+        "result",
+        "raised",
+        "listener_present",
+        "probe_completed",
+        "probe_errors",
+        "probe_error",
+        "trace",
+    )
+
+    def __init__(self, spec: Dict[str, Any]) -> None:
+        self.spec = spec
+        self.kernel: Optional[Kernel] = None
+        self.world: Optional[_World] = None
+        self.collector: Optional[obs.Collector] = None
+        self.plan: Optional[FaultPlan] = None
+        self.result = None
+        self.raised: Optional[str] = None
+        self.listener_present = False
+        self.probe_completed = 0
+        self.probe_errors = 0
+        self.probe_error: Optional[str] = None
+        self.trace: Optional[TraceLog] = None
+
+
+def _final_observables(
+    outcome: ScenarioOutcome, until_failure: bool
+) -> Dict[str, Any]:
+    """The end-of-run digest the trace compares on replay.
+
+    Everything here is derived from virtual-clock-stamped state, so two
+    equivalent runs produce equal values: the final virtual clock, a CRC
+    of the canonical span-tree JSON, a CRC of the surviving tree's exact
+    fingerprint serialization, and the update outcome fields.
+    """
+    kernel = outcome.kernel
+    result = outcome.result
+    final: Dict[str, Any] = {
+        "clock_ns": kernel.clock.now_ns,
+        "steps": kernel.steps_executed,
+        "raised": outcome.raised,
+        "committed": bool(result.committed) if result else False,
+        "rolled_back": bool(result.rolled_back) if result else False,
+        "failure_site": result.failure_site if result else None,
+        "retries": result.retries if result else 0,
+        "rollback_verified": result.rollback_verified if result else None,
+        "rollback_failed": bool(result.rollback_failed) if result else False,
+        "span_crc": zlib.crc32(
+            to_json(
+                [root.to_dict() for root in outcome.collector.spans.roots]
+            ).encode()
+        ),
+    }
+    if not until_failure:
+        final["probe_completed"] = outcome.probe_completed
+        final["probe_errors"] = outcome.probe_errors
+        survivor = None
+        if result is not None and result.committed:
+            survivor = result.new_root
+        elif outcome.world is not None:
+            survivor = outcome.world.root
+        fingerprint_crc = 0
+        if survivor is not None:
+            try:
+                fingerprint_crc = zlib.crc32(
+                    to_json(
+                        TreeFingerprint.capture(kernel, survivor).to_dict()
+                    ).encode()
+                )
+            except BaseException:  # a crashed tree has no fingerprint
+                fingerprint_crc = -1
+        final["fingerprint_crc"] = fingerprint_crc
+    return final
+
+
+def run_scenario(
+    spec: Dict[str, Any],
+    trace: Optional[TraceLog] = None,
+    trace_path: Optional[str] = None,
+    blackbox_path: Optional[str] = None,
+    until_failure: bool = False,
+    trace_save: str = "always",
+) -> ScenarioOutcome:
+    """Execute ``spec`` from a cold boot; record/verify through ``trace``.
+
+    The run happens under a fresh ``RngRegistry`` seeded from the spec
+    and (when given) the trace, activated for the whole lifetime — boot,
+    workload, update, probe — so every draw and every scheduler pick is
+    covered.  The update itself runs against a dedicated collector so the
+    span tree is available afterwards for the trace digest and for
+    ``--export``.  Never raises for fault-plan-induced failures (that is
+    the property under test); infrastructure errors do propagate.
+    """
+    server = spec["server"]
+    if server not in SERVERS:
+        raise ValueError(
+            f"unknown scenario server {server!r}; choose from {sorted(SERVERS)}"
+        )
+    outcome = ScenarioOutcome(spec)
+    outcome.trace = trace
+    registry = replay_rng.RngRegistry(int(spec.get("seed", 0)))
+    kernel = Kernel()
+    outcome.kernel = kernel
+    if trace is not None:
+        if trace_path:
+            trace.path = trace_path
+        trace.bind_kernel(kernel)
+    collector = obs.Collector(kernel.clock)
+    outcome.collector = collector
+    with replay_rng.scoped(registry), replay_trace.tracing(trace):
+        world = _boot(server, kernel)
+        outcome.world = world
+        workload = _workload_for(server, spec.get("workload") or {})
+        workload.run(kernel)
+        holder: Optional[ConnectionHolder] = None
+        held = spec.get("holders", 0)
+        holder_kind = SERVERS[server]["holder_kind"]
+        if holder_kind is not None and held:
+            holder = ConnectionHolder(world.port, held, holder_kind)
+            holder.establish(kernel)
+        plan = FaultPlan.from_spec(spec.get("faults") or [])
+        outcome.plan = plan
+        config = MCRConfig(
+            faults=plan if plan else None,
+            blackbox_path=blackbox_path,
+            update_mode=spec.get("mode", "whole-tree"),
+        )
+        ctl = McrCtl(kernel, world.session)
+        try:
+            outcome.result = ctl.live_update(
+                world.module.make_program(2), config=config, collector=collector
+            )
+        except BaseException as error:  # the property under test: never
+            outcome.raised = repr(error)
+        outcome.listener_present = kernel.net.listener_for(world.port) is not None
+        if not until_failure:
+            probe = _probe_for(server)
+            try:
+                probe.run(kernel)
+            except BaseException as error:  # pragma: no cover - diagnostics
+                outcome.probe_error = repr(error)
+            outcome.probe_completed = probe.completed
+            outcome.probe_errors = probe.errors
+            if holder is not None:
+                holder.finish(kernel)
+        if trace is not None:
+            trace.finish(
+                _final_observables(outcome, until_failure), partial=until_failure
+            )
+            # ``trace_save="on-blackbox"`` keeps a shared trace path and
+            # the shared blackbox path a consistent pair: both files are
+            # only (over)written by cells whose update dumped a post-
+            # mortem, so the surviving blackbox's embedded reference
+            # always points at *its own* recording.
+            save = bool(trace.path) and (
+                trace_save == "always"
+                or (
+                    outcome.result is not None
+                    and outcome.result.blackbox is not None
+                )
+            )
+            if save:
+                trace.save(trace.path)
+    return outcome

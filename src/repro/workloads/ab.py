@@ -14,6 +14,7 @@ from typing import List
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, sim_function
+from repro.replay import rng as replay_rng
 from repro.servers.common import ClientLatencyLog, connect_with_retry
 
 
@@ -27,11 +28,18 @@ class ApacheBench:
         concurrency: int = 4,
         path: str = "/file1k.bin",
         reconnect_stall_ns: int = None,
+        jitter_ns: int = 0,
     ) -> None:
         self.port = port
         self.requests = requests
         self.concurrency = concurrency
         self.path = path
+        # Client think time: with ``jitter_ns`` set, each request is
+        # preceded by a uniform 0..jitter_ns virtual-time sleep drawn
+        # from the named ``workload.ab.jitter`` replay stream, so runs
+        # with jitter stay deterministic (and recordable) per seed.
+        # The default of 0 takes zero draws — byte-identical to before.
+        self.jitter_ns = jitter_ns
         # With ``reconnect_stall_ns`` set, a client whose response stalls
         # longer than that abandons its keep-alive connection and retries
         # the request over a fresh one — real AB's timeout/retry posture.
@@ -51,6 +59,9 @@ class ApacheBench:
     def __call__(self, kernel: Kernel) -> List[Process]:
         per_client = max(1, self.requests // self.concurrency)
         bench = self
+        jitter = (
+            replay_rng.stream("workload.ab.jitter") if self.jitter_ns else None
+        )
 
         @sim_function
         def ab_client(sys):
@@ -61,6 +72,8 @@ class ApacheBench:
                 bench.errors += per_client
                 return
             for _ in range(per_client):
+                if jitter is not None:
+                    yield from sys.nanosleep(jitter.randint(0, bench.jitter_ns))
                 start = clock.now_ns
                 attempts = 0
                 while True:

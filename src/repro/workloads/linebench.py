@@ -1,0 +1,50 @@
+"""Line-protocol driver for the command servers (simple, memcache).
+
+Each client connects once and plays the scripted ``(line, expected reply
+prefix)`` exchanges — AB's ``GET <path>`` shape only draws ``err
+unknown`` from these protocols, which would make a probe vacuous.
+Shared by the fault matrix and the record/replay scenario runner.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import sim_function
+from repro.servers.common import connect_with_retry
+
+
+class LineBench:
+    """Scripted line-protocol exchange driver."""
+
+    def __init__(self, port: int, script, clients: int = 1) -> None:
+        self.port = port
+        self.script = list(script)
+        self.clients = clients
+        self.completed = 0
+        self.errors = 0
+
+    def run(self, kernel: Kernel, max_steps: int = 5_000_000) -> None:
+        bench = self
+
+        @sim_function
+        def line_client(sys):
+            try:
+                fd = yield from connect_with_retry(sys, bench.port)
+            except SimError:
+                bench.errors += len(bench.script)
+                return
+            for line, expect in bench.script:
+                yield from sys.send(fd, (line + "\n").encode())
+                reply = yield from sys.recv(fd)
+                if reply and reply.decode(errors="replace").startswith(expect):
+                    bench.completed += 1
+                else:
+                    bench.errors += 1
+            yield from sys.close(fd)
+
+        procs = [
+            kernel.spawn_process(line_client, name=f"line-{index}")
+            for index in range(self.clients)
+        ]
+        kernel.run(until=lambda: all(p.exited for p in procs), max_steps=max_steps)

@@ -16,6 +16,7 @@ from typing import List
 from repro.errors import SimError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process, sim_function
+from repro.replay import rng as replay_rng
 from repro.servers.common import ClientLatencyLog, connect_with_retry
 
 
@@ -28,10 +29,15 @@ class McBench:
         operations: int = 200,
         concurrency: int = 4,
         reconnect_stall_ns: int = None,
+        jitter_ns: int = 0,
     ) -> None:
         self.port = port
         self.operations = operations
         self.concurrency = concurrency
+        # Same deterministic think-time knob as ApacheBench: uniform
+        # 0..jitter_ns sleep per operation, drawn from the named
+        # ``workload.mc.jitter`` replay stream; 0 takes zero draws.
+        self.jitter_ns = jitter_ns
         # Same timeout/retry posture as ApacheBench: with a stall bound
         # set, a client abandons a wedged connection and retries the
         # operation over a fresh connect; None blocks forever.
@@ -68,6 +74,9 @@ class McBench:
     def __call__(self, kernel: Kernel) -> List[Process]:
         per_client = max(1, self.operations // self.concurrency)
         bench = self
+        jitter = (
+            replay_rng.stream("workload.mc.jitter") if self.jitter_ns else None
+        )
 
         @sim_function
         def mc_client(sys, index):
@@ -78,6 +87,8 @@ class McBench:
                 bench.errors += per_client
                 return
             for line, expect in bench._script(index, per_client):
+                if jitter is not None:
+                    yield from sys.nanosleep(jitter.randint(0, bench.jitter_ns))
                 start = clock.now_ns
                 attempts = 0
                 while True:
