@@ -56,10 +56,15 @@ STANDBY_FAULT_SITES: Tuple[str, ...] = (
 )
 
 
-def _drill_config(cadence_ms: int, plan: Optional[FaultPlan] = None) -> MCRConfig:
+def _drill_config(
+    cadence_ms: int,
+    plan: Optional[FaultPlan] = None,
+    blackbox_path: Optional[str] = None,
+) -> MCRConfig:
     return MCRConfig(
         faults=plan,
         checkpoint_interval_ns=cadence_ms * 1_000_000,
+        blackbox_path=blackbox_path,
     )
 
 
@@ -105,11 +110,19 @@ def _sweep_row(server: str, cadence_ms: int, trials: int) -> Dict[str, Any]:
     }
 
 
-def _fault_row(server: str, label: str, sites: Tuple[str, ...], crash: bool) -> Dict[str, Any]:
+def _fault_row(
+    server: str,
+    label: str,
+    sites: Tuple[str, ...],
+    crash: bool,
+    blackbox_path: Optional[str] = None,
+) -> Dict[str, Any]:
     plan = FaultPlan()
     for site in sites:
         plan.at(site)
-    drill = FailoverDrill(server, config=_drill_config(25, plan), crash=crash)
+    drill = FailoverDrill(
+        server, config=_drill_config(25, plan, blackbox_path), crash=crash
+    )
     data = drill.run().to_dict()
     recovered = data["promoted"] or data["cold_restored"]
     converged = (
@@ -131,7 +144,9 @@ def _fault_row(server: str, label: str, sites: Tuple[str, ...], crash: bool) -> 
     }
 
 
-def run_failover(smoke: bool = False) -> Dict[str, Any]:
+def run_failover(
+    smoke: bool = False, blackbox_path: Optional[str] = None
+) -> Dict[str, Any]:
     servers = SMOKE_SERVERS if smoke else SERVERS
     cadences = SMOKE_CADENCES_MS if smoke else CADENCES_MS
     trials = SMOKE_TRIALS if smoke else TRIALS
@@ -142,11 +157,13 @@ def run_failover(smoke: bool = False) -> Dict[str, Any]:
     ]
     fault_server = servers[0]
     drills = [
-        _fault_row(fault_server, site, (site,), crash=False)
+        _fault_row(fault_server, site, (site,), crash=False,
+                   blackbox_path=blackbox_path)
         for site in PRIMARY_FAULT_SITES
     ]
     drills += [
-        _fault_row(fault_server, site, (site,), crash=True)
+        _fault_row(fault_server, site, (site,), crash=True,
+                   blackbox_path=blackbox_path)
         for site in STANDBY_FAULT_SITES
     ]
     drills.append(
@@ -155,6 +172,7 @@ def run_failover(smoke: bool = False) -> Dict[str, Any]:
             "checkpoint.write+standby.promote",
             ("checkpoint.write", "standby.promote"),
             crash=True,
+            blackbox_path=blackbox_path,
         )
     )
     budget_ms = MCRConfig().downtime_budget_ns / 1e6

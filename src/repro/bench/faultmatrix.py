@@ -39,7 +39,12 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.reporting import fmt_cell, render_table
 from repro.mcr.config import MCRConfig
-from repro.mcr.faults import CHECKPOINT_SITES, FaultPlan, UPDATE_SITES
+from repro.mcr.faults import (
+    CHECKPOINT_SITES,
+    FaultPlan,
+    MIGRATION_SITES,
+    UPDATE_SITES,
+)
 from repro.replay.scenario import default_spec, run_scenario
 from repro.replay.trace import TraceLog
 from repro.workloads.linebench import LineBench  # noqa: F401  (re-export)
@@ -249,6 +254,83 @@ def run_failover_cells(
     return cells
 
 
+def run_migration_cell(
+    server: str,
+    site: Optional[str],
+    blackbox_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """One planned-migration drill: arm ``site`` (None = clean), never raise.
+
+    The convergence contract: every cell ends with the tree **migrated
+    XOR the primary kept serving** — a pre-copy fault costs a round (the
+    migration still completes), a stop-and-copy or cutover fault aborts
+    back to the primary — and zero unhandled exceptions either way.
+    """
+    from repro.fleet.migration import MigrationDrill
+
+    sites = () if site is None else tuple(site.split("+"))
+    plan = None
+    if sites:
+        plan = FaultPlan()
+        for armed in sites:
+            plan.at(armed)
+    config = MCRConfig(faults=plan, blackbox_path=blackbox_path)
+    cell: Dict[str, object] = {
+        "server": server,
+        "site": site or "clean-migrate",
+        "armed": list(sites),
+        "raised": False,
+    }
+    try:
+        data = MigrationDrill(server, config=config).run().to_dict()
+    except BaseException as error:  # the drill's contract says never
+        cell["raised"] = True
+        cell["error"] = repr(error)
+        cell["converged"] = False
+        return cell
+    cell.update(
+        fired=bool(plan.injected) if plan is not None else False,
+        fired_sites=data["fired_sites"],
+        migrated=data["migrated"],
+        aborted=data["aborted"],
+        primary_survived=data["primary_survived"],
+        precopy_rounds=data["precopy_rounds"],
+        precopy_failures=data["precopy_failures"],
+        reseeds=data["reseeds"],
+        brownout_ms=data["brownout_ms"],
+        requests_lost=data["requests_lost"],
+        served_after=data["served_after"],
+        # An aborted cutover stamps the flight recorder with the site
+        # that killed it — the post-mortem the cell must match.
+        blackbox_site=(data["blackbox"] or {}).get("failure_site"),
+        error=data["error"],
+        # Exactly one end state per cell, and it served afterwards.
+        converged=(
+            data["error"] is None
+            and data["served_after"]
+            and data["migrated"] != data["primary_survived"]
+        ),
+    )
+    return cell
+
+
+def run_migration_cells(
+    server: str,
+    blackbox_path: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """The migration grid: clean migration + every migration-plane site
+    + the pre-copy/cutover double fault."""
+    cells = [run_migration_cell(server, None, blackbox_path=blackbox_path)]
+    for site in MIGRATION_SITES:
+        cells.append(run_migration_cell(server, site, blackbox_path=blackbox_path))
+    cells.append(
+        run_migration_cell(
+            server, "migrate.precopy+migrate.cutover", blackbox_path=blackbox_path
+        )
+    )
+    return cells
+
+
 def run_faultmatrix(
     servers: Optional[Sequence[str]] = None,
     smoke: bool = False,
@@ -300,6 +382,17 @@ def run_faultmatrix(
         else None
     )
     failover_cells = run_failover_cells(names[0], blackbox_path=failover_blackbox)
+    # The migration grid: a planned-migration drill per migration-plane
+    # site (clean + each site + the double fault), each required to end
+    # migrated XOR primary-kept-serving, never both dead.
+    migration_blackbox = (
+        blackbox_path.replace(".json", "_migration.json")
+        if blackbox_path
+        else None
+    )
+    migration_cells = run_migration_cells(
+        names[0], blackbox_path=migration_blackbox
+    )
     # Every rolled-back cell must have produced a black box whose last
     # injected fault matches the site the cell armed and fired.
     rolled_back = [c for c in cells if c["rolled_back"]]
@@ -309,11 +402,15 @@ def run_faultmatrix(
         "rolling_servers": list(rolling_names),
         "sites": list(UPDATE_SITES),
         "failover_sites": list(CHECKPOINT_SITES),
+        "migration_sites": list(MIGRATION_SITES),
         "smoke": smoke,
         "cells": cells,
         "failover_cells": failover_cells,
         "failover_all_converged": all(c["converged"] for c in failover_cells),
         "failover_any_raised": any(c["raised"] for c in failover_cells),
+        "migration_cells": migration_cells,
+        "migration_all_converged": all(c["converged"] for c in migration_cells),
+        "migration_any_raised": any(c["raised"] for c in migration_cells),
         "cells_total": len(cells),
         "cells_fired": sum(1 for c in cells if c["fired"]),
         "rolling_cells": len(rolling_cells),
@@ -405,6 +502,41 @@ def render(results: Dict[str, object]) -> str:
                     note=(
                         f"failover_all_converged="
                         f"{fmt_cell(results.get('failover_all_converged'))}"
+                    ),
+                ),
+            ]
+        )
+    migration_rows = [
+        [
+            cell["server"],
+            cell["site"],
+            fmt_cell(cell.get("fired")),
+            (
+                "migrated"
+                if cell.get("migrated")
+                else "primary"
+                if cell.get("primary_survived")
+                else "RAISED"
+            ),
+            cell.get("precopy_rounds"),
+            cell.get("precopy_failures"),
+            cell.get("requests_lost"),
+            fmt_cell(cell.get("converged")),
+        ]
+        for cell in results.get("migration_cells", [])
+    ]
+    if migration_rows:
+        parts.extend(
+            [
+                "",
+                render_table(
+                    "Migration drills: planned-migration sites x cutover",
+                    ["server", "site", "fired", "end state", "rounds",
+                     "round_fails", "lost", "converged"],
+                    migration_rows,
+                    note=(
+                        f"migration_all_converged="
+                        f"{fmt_cell(results.get('migration_all_converged'))}"
                     ),
                 ),
             ]

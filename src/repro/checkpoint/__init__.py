@@ -25,7 +25,13 @@ crash.  Four pieces:
   when the primary dies (``repro.fleet.failover`` drives the drills).
 """
 
-from repro.checkpoint.delta import DeltaBaseline, DeltaCheckpoint, capture_delta
+from repro.checkpoint.delta import (
+    DeltaBaseline,
+    DeltaCheckpoint,
+    capture_delta,
+    capture_delta_locked,
+    hold_quiesced,
+)
 from repro.checkpoint.image import (
     FORMAT_VERSION,
     CheckpointImage,
@@ -44,7 +50,9 @@ __all__ = [
     "StandbyChannel",
     "WarmStandby",
     "capture_delta",
+    "capture_delta_locked",
     "checkpoint_node",
+    "hold_quiesced",
     "read_image",
     "restore_image",
     "resume_node",

@@ -26,7 +26,8 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from typing import Any, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import ImageError
@@ -123,6 +124,28 @@ class DeltaCheckpoint:
         return cls(meta, blob)
 
 
+@contextmanager
+def hold_quiesced(node: Any, config: Optional[MCRConfig] = None) -> Iterator[None]:
+    """Park ``node``'s tree at the quiescence barrier for the block's duration.
+
+    The primitive a planned migration's stop-and-copy is built from: the
+    caller quiesces once, then cuts the final delta, streams it, and
+    promotes the target *while the source tree is still parked*, so no
+    write can race the copy.  The barrier is always released on exit —
+    an abort mid-block resumes the source serving exactly where it
+    stopped (a failed migration never takes the primary down).
+    """
+    config = config or node.session.config
+    with node.scope():
+        protocol = node.session.quiescence
+        protocol.request()
+        try:
+            protocol.wait(node.root, config=config)
+            yield
+        finally:
+            protocol.release()
+
+
 def capture_delta(
     node: Any,
     baseline: DeltaBaseline,
@@ -135,15 +158,26 @@ def capture_delta(
     baseline on success, so consecutive calls chain gaplessly.
     """
     config = config or node.session.config
+    with hold_quiesced(node, config):
+        return capture_delta_locked(node, baseline, config)
+
+
+def capture_delta_locked(
+    node: Any,
+    baseline: DeltaBaseline,
+    config: Optional[MCRConfig] = None,
+) -> Optional[DeltaCheckpoint]:
+    """Cut the next delta while the caller already holds the barrier.
+
+    ``capture_delta`` wraps this in its own ``hold_quiesced``; callers
+    that keep the tree parked across the capture *and* what follows
+    (stop-and-copy: capture, stream, apply, promote) call this directly
+    inside their own ``hold_quiesced`` block.
+    """
+    config = config or node.session.config
     with node.scope():
         with obs.span("checkpoint.delta"):
-            protocol = node.session.quiescence
-            protocol.request()
-            try:
-                protocol.wait(node.root, config=config)
-                return _capture_delta_quiesced(node, baseline, config)
-            finally:
-                protocol.release()
+            return _capture_delta_quiesced(node, baseline, config)
 
 
 def _capture_delta_quiesced(

@@ -8,11 +8,11 @@ Commands:
   per-thread report (default: all four evaluation servers).
 * ``bench <experiment>``     — regenerate one paper table/figure
   (table1, table2, table3, figure3, spec, memusage, updatetime,
-  ablations, scanperf, faultmatrix, fleetroll, failover, fuzz, or
-  ``all``); ``--json`` also writes ``BENCH_<experiment>.json`` through
-  ``repro.obs.export``; ``--smoke`` shrinks faultmatrix, updatetime,
-  fleetroll, scanperf, failover, and fuzz to their CI subsets;
-  ``--seed N`` reseeds the fuzzer's scenario draws.
+  ablations, scanperf, faultmatrix, fleetroll, failover, migrate,
+  fuzz, or ``all``); ``--json`` also writes ``BENCH_<experiment>.json``
+  through ``repro.obs.export``; ``--smoke`` shrinks faultmatrix,
+  updatetime, fleetroll, scanperf, failover, migrate, and fuzz to
+  their CI subsets; ``--seed N`` reseeds the fuzzer's scenario draws.
 * ``replay <path>``          — re-execute a recorded trace (or the trace
   referenced by a ``blackbox.json``) and assert bit-identical
   equivalence; ``--to-failure`` stops at the failing fault site and
@@ -26,6 +26,12 @@ Commands:
   histogram percentiles, the blackout interval, the SLO verdict, and a
   Prometheus text exposition; ``--json`` writes ``METRICS_<server>.json``.
 * ``status [server]``        — boot a server and print ``mcr-ctl status``.
+* ``checkpoint [server]``    — boot a server, serve a little traffic, and
+  write a durable checkpoint image (``--out FILE``, ``--serve N``).
+* ``restore <image>``        — restore a checkpoint image written by
+  ``checkpoint`` (possibly by *another* Python process), fingerprint-
+  verify the restored tree against the image, and optionally resume it
+  and serve ``--serve N`` requests to prove the graft is live.
 """
 
 from __future__ import annotations
@@ -212,7 +218,21 @@ def _bench_fleetroll(smoke: bool = False):
 def _bench_failover(smoke: bool = False):
     from repro.bench.failover import render, run_failover
 
-    results = run_failover(smoke=smoke)
+    # Fault-drill post-mortems derive from the bench's own artifact
+    # naming (BENCH_failover.json), never a hard-coded repo-root
+    # blackbox path a run would dirty the checkout with.
+    results = run_failover(
+        smoke=smoke, blackbox_path="BENCH_failover_blackbox.json"
+    )
+    return results, render(results)
+
+
+def _bench_migrate(smoke: bool = False):
+    from repro.bench.migrate import render, run_migrate
+
+    results = run_migrate(
+        smoke=smoke, blackbox_path="BENCH_migrate_blackbox.json"
+    )
     return results, render(results)
 
 
@@ -252,6 +272,7 @@ BENCH_EXPERIMENTS = {
     "faultmatrix": _bench_faultmatrix,
     "fleetroll": _bench_fleetroll,
     "failover": _bench_failover,
+    "migrate": _bench_migrate,
     "fuzz": _bench_fuzz,
 }
 
@@ -267,7 +288,8 @@ def cmd_bench(args) -> int:
             )
             if not results["all_ok"]:
                 exit_code = 1
-        elif name in ("faultmatrix", "updatetime", "fleetroll", "scanperf", "failover"):
+        elif name in ("faultmatrix", "updatetime", "fleetroll", "scanperf",
+                      "failover", "migrate"):
             results, text = BENCH_EXPERIMENTS[name](
                 smoke=getattr(args, "smoke", False)
             )
@@ -419,6 +441,60 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_checkpoint(args) -> int:
+    """Boot a server, mutate it with traffic, write a durable image."""
+    from repro.checkpoint import checkpoint_node, write_image
+    from repro.fleet.node import Node
+
+    node = Node.boot(args.server)
+    if args.serve:
+        node.serve(args.serve)
+        node.drain()
+        # Let workers process client EOFs and release connection fds:
+        # restore validation refuses an image holding fds a fresh boot
+        # cannot reproduce.
+        node.settle(2_000_000)
+    image = checkpoint_node(node)
+    size = write_image(image, args.out)
+    digest = image.fingerprint.summary()
+    print(f"{args.server}: image {image.image_id} "
+          f"({size} bytes on disk, {image.total_bytes()} section bytes)")
+    print(f"served {node.completed} requests before capture "
+          f"({node.lost} lost)")
+    print(f"fingerprint: {digest}")
+    print(f"wrote {args.out}")
+    node.teardown()
+    return 0
+
+
+def cmd_restore(args) -> int:
+    """Restore a durable image — in a different process than wrote it."""
+    from repro.checkpoint import read_image, restore_image, resume_node
+    from repro.errors import ImageError
+
+    try:
+        image = read_image(args.path)
+        node = restore_image(image)
+    except ImageError as error:
+        print(f"cannot restore {args.path}: {error}", file=_host_sys.stderr)
+        return 2
+    verified = node.fingerprint().matches(image.fingerprint)
+    state = "verified" if verified else "MISMATCH"
+    print(f"{image.server}: restored image {image.image_id} -> "
+          f"fingerprint {state}")
+    exit_code = 0 if verified else 1
+    if args.serve and verified:
+        resume_node(node)
+        node.serve(args.serve)
+        node.drain()
+        print(f"resumed: served {node.completed}/{args.serve} requests "
+              f"({node.lost} lost)")
+        if node.completed != args.serve:
+            exit_code = 1
+    node.teardown()
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -439,7 +515,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=["table1", "table2", "table3", "figure3", "spec",
                  "memusage", "updatetime", "ablations", "scanperf",
-                 "faultmatrix", "fleetroll", "failover", "fuzz", "all"],
+                 "faultmatrix", "fleetroll", "failover", "migrate",
+                 "fuzz", "all"],
     )
     bench.add_argument(
         "--json",
@@ -449,8 +526,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="faultmatrix/updatetime/fleetroll/scanperf/failover/fuzz: "
-             "run the reduced CI subset",
+        help="faultmatrix/updatetime/fleetroll/scanperf/failover/migrate/"
+             "fuzz: run the reduced CI subset",
     )
     bench.add_argument(
         "--seed",
@@ -509,6 +586,31 @@ def build_parser() -> argparse.ArgumentParser:
     status = subparsers.add_parser("status", help="mcr-ctl status of a server")
     status.add_argument("server", nargs="?", default="simple", choices=SERVERS)
     status.set_defaults(fn=cmd_status)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="serve traffic, then write a durable image"
+    )
+    checkpoint.add_argument("server", nargs="?", default="simple", choices=SERVERS)
+    checkpoint.add_argument(
+        "--out", metavar="FILE", default="checkpoint.img",
+        help="where to write the image (default: checkpoint.img)",
+    )
+    checkpoint.add_argument(
+        "--serve", type=int, default=8, metavar="N",
+        help="requests to serve before capture (mutates server state)",
+    )
+    checkpoint.set_defaults(fn=cmd_checkpoint)
+
+    restore = subparsers.add_parser(
+        "restore",
+        help="restore a durable image (cross-process) and verify it",
+    )
+    restore.add_argument("path", help="image file written by `repro checkpoint`")
+    restore.add_argument(
+        "--serve", type=int, default=0, metavar="N",
+        help="after verification, resume the node and serve N requests",
+    )
+    restore.set_defaults(fn=cmd_restore)
     return parser
 
 

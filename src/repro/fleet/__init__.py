@@ -20,10 +20,16 @@ from repro.fleet.orchestrator import (
     wave_plan,
 )
 
-# The failover driver sits atop repro.checkpoint, which itself boots
-# fleet Nodes — import it lazily so ``import repro.checkpoint`` does not
-# re-enter this package mid-initialisation.
+# The failover/migration drivers sit atop repro.checkpoint, which
+# itself boots fleet Nodes — import them lazily so ``import
+# repro.checkpoint`` does not re-enter this package mid-initialisation.
 _FAILOVER_EXPORTS = ("FailoverDrill", "FailoverResult", "run_failover_drill")
+_MIGRATION_EXPORTS = (
+    "MigrationAbort",
+    "MigrationDrill",
+    "MigrationResult",
+    "run_migration_drill",
+)
 
 
 def __getattr__(name: str):
@@ -31,6 +37,10 @@ def __getattr__(name: str):
         from repro.fleet import failover
 
         return getattr(failover, name)
+    if name in _MIGRATION_EXPORTS:
+        from repro.fleet import migration
+
+        return getattr(migration, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -38,6 +48,10 @@ __all__ = [
     "FailoverDrill",
     "FailoverResult",
     "Fleet",
+    "MigrationAbort",
+    "MigrationDrill",
+    "MigrationResult",
+    "run_migration_drill",
     "LoadBalancer",
     "Node",
     "NodeOutcome",

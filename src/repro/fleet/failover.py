@@ -54,6 +54,9 @@ PRIMARY_ID = 0
 STANDBY_ID = 1
 COLD_ID = 2
 
+# Post-drain settle before cutting the seed image (see _run).
+_SETTLE_NS = 2_000_000
+
 
 class FailoverResult:
     """Everything one drill measured, JSON-ready via ``to_dict``."""
@@ -311,9 +314,15 @@ class FailoverDrill:
         )
         lb = LoadBalancer([PRIMARY_ID, STANDBY_ID])
         lb.mark_updating(STANDBY_ID)  # warm, but out of rotation
-        # Warm up, then seed the image/baseline/standby.
+        # Warm up, then seed the image/baseline/standby.  Settle the
+        # kernel after the drain: a worker that has not yet processed a
+        # client's EOF still holds the accepted-connection fd, and the
+        # restore validation (rightly) refuses an image with connection
+        # fds a fresh boot cannot have — this is what used to wedge the
+        # httpd rows of the full cadence sweep into cold-restore loops.
         self.primary.serve(self.requests_per_window)
         self.primary.drain()
+        self.primary.settle(_SETTLE_NS)
         self._cut_full(result)
         self._boot_standby(result)
         serving = self.primary

@@ -151,6 +151,26 @@ class Node:
         if delta > 0:
             self.run_for(delta, max_steps=max_steps)
 
+    def settle(self, duration_ns: int, max_steps: int = 200_000) -> None:
+        """Run ~``duration_ns`` of cleanup without a far-future clock jump.
+
+        ``run_for`` can overshoot its deadline when the only remaining
+        event is a periodic timer tens of ms away — the scheduler jumps
+        the clock straight to it.  A sleeper process pins the deadline
+        horizon to ``duration_ns``, so post-drain housekeeping (EOF
+        processing, served-connection fd release) runs while the clock
+        moves only that far.  Checkpoint capture uses this: an image cut
+        before the fd release holds connection fds a fresh boot cannot
+        reproduce, which restore validation rejects.
+        """
+        with self.scope():
+            sleeper = self.kernel.spawn_process(
+                _settle_sleeper,
+                args=(duration_ns,),
+                name=f"settle-{self.node_id}",
+            )
+            self.kernel.run(until=lambda: sleeper.exited, max_steps=max_steps)
+
     # -- the request stream ---------------------------------------------------
 
     def serve(self, requests: int) -> None:
@@ -238,6 +258,11 @@ class Node:
         with self.scope():
             for process in self.kernel.live_processes():
                 self.kernel.terminate_process(process)
+
+
+@sim_function
+def _settle_sleeper(sys, duration_ns: int):
+    yield from sys.nanosleep(duration_ns)
 
 
 @sim_function

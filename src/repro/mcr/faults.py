@@ -79,7 +79,18 @@ CHECKPOINT_SITES: Dict[str, str] = {
     "standby.promote": "standby promotion fails its integrity verification",
 }
 
-SITES: Dict[str, str] = {**UPDATE_SITES, **CHECKPOINT_SITES}
+# Failure modes of the planned-migration plane (``repro.fleet.migration``):
+# pre-copy rounds while the primary serves, the quiesced stop-and-copy,
+# and the load-balancer cutover.  Like the checkpoint sites these never
+# fire during a live update; ``bench faultmatrix`` and ``bench migrate``
+# exercise them through migration drills.
+MIGRATION_SITES: Dict[str, str] = {
+    "migrate.precopy": "a pre-copy delta round dies while the primary serves",
+    "migrate.stopcopy": "the final quiesced stop-and-copy fails mid-stream",
+    "migrate.cutover": "the load-balancer cutover / target promotion fails",
+}
+
+SITES: Dict[str, str] = {**UPDATE_SITES, **CHECKPOINT_SITES, **MIGRATION_SITES}
 
 # Default error each site raises when the arm does not name one.
 DEFAULT_ERRORS: Dict[str, Callable[[], BaseException]] = {
@@ -132,6 +143,15 @@ DEFAULT_ERRORS: Dict[str, Callable[[], BaseException]] = {
     ),
     "standby.promote": lambda: PromotionError(
         "injected: standby failed promotion verification"
+    ),
+    "migrate.precopy": lambda: SimError(
+        "injected: pre-copy delta round crashed"
+    ),
+    "migrate.stopcopy": lambda: SimError(
+        "injected: stop-and-copy died mid-stream"
+    ),
+    "migrate.cutover": lambda: PromotionError(
+        "injected: cutover to the migration target failed"
     ),
 }
 

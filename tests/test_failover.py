@@ -13,7 +13,9 @@ from __future__ import annotations
 import pytest
 
 from repro.bench.faultmatrix import run_failover_cell
-from repro.fleet.failover import FailoverDrill
+from repro.checkpoint import capture_delta
+from repro.fleet.failover import FailoverDrill, FailoverResult
+from repro.fleet.node import Node
 from repro.mcr.config import MCRConfig
 from repro.mcr.faults import CHECKPOINT_SITES, DEFAULT_ERRORS, SITES, FaultPlan
 
@@ -94,3 +96,79 @@ def test_drill_never_raises_even_with_all_sites_armed(tmp_path):
     result = FailoverDrill("simple", config=config).run()
     assert result.error is None
     assert result.served_after
+
+
+# -- the cadence tick's structural-drift repair path ---------------------------
+
+
+def _booted_drill():
+    """A drill warmed up by hand to where the cadence ticks happen."""
+    config = MCRConfig(checkpoint_interval_ns=25_000_000)
+    drill = FailoverDrill("simple", config=config)
+    result = FailoverResult("simple")
+    drill.primary = Node.boot("simple", node_id=0, config=config)
+    drill.primary.serve(4)
+    drill.primary.drain()
+    drill.primary.settle(2_000_000)
+    assert drill._cut_full(result)
+    drill._boot_standby(result)
+    assert drill.standby is not None
+    return drill, result
+
+
+def _teardown_drill(drill):
+    for node in (
+        drill.primary,
+        drill.standby.node if drill.standby is not None else None,
+    ):
+        if node is not None:
+            try:
+                node.teardown()
+            except Exception:
+                pass
+
+
+def test_cadence_tick_structural_drift_resyncs_the_standby():
+    drill, result = _booted_drill()
+    try:
+        old_image_id = drill.last_image.image_id
+        # A phantom baseline entry makes the live mapping set differ
+        # from the baseline, so capture_delta reports structural drift
+        # (None) — the same signal a fork/exit/mmap produces.
+        drill.baseline.mapping_seqs[(9999, 0x7F000000)] = 0
+        drill._cadence_tick(result)
+        standby = drill.standby
+        # The drift tick cut a fresh full image (no delta shipped) and
+        # resynced the standby onto it: applied_seq back to zero.
+        assert result.deltas_sent == 0
+        assert drill.last_image.image_id != old_image_id
+        assert standby.image_id == drill.last_image.image_id
+        assert standby.applied_seq == 0 and not standby.stale
+        # The next tick chains gaplessly off the *new* image id...
+        drill._cadence_tick(result)
+        assert result.deltas_sent == 1
+        assert standby.applied_seq == 1 and not standby.stale
+        # ...and the resynced standby is promotable.
+        assert standby.promote() is standby.node
+    finally:
+        _teardown_drill(drill)
+
+
+def test_dropped_delta_gap_goes_stale_then_resync_recovers():
+    drill, result = _booted_drill()
+    try:
+        # Cut a delta and drop it on the floor (never streamed): the
+        # baseline advances past a sequence the standby will never see.
+        dropped = capture_delta(drill.primary, drill.baseline, drill.config)
+        assert dropped is not None and dropped.seq == 1
+        drill._cadence_tick(result)  # the next delta arrives with a gap
+        standby = drill.standby
+        assert standby.stale
+        # The same repair the drift path performs: fresh image + resync.
+        assert drill._cut_full(result)
+        standby.resync(drill.last_image)
+        assert not standby.stale and standby.applied_seq == 0
+        assert standby.image_id == drill.last_image.image_id
+        assert standby.promote() is standby.node
+    finally:
+        _teardown_drill(drill)
